@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ablation for the Mask Cache (Section 3.2): with it, criticality
+ * accumulates across control-flow paths and dependence violations
+ * stay rare (<2% of cycles per the paper); without it, single-path
+ * masks miss producers and violations rise.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace cdfsim;
+
+int
+main()
+{
+    auto spec = bench::figureRunSpec();
+    spec.measureInstrs = 120'000;
+    const std::vector<std::string> subset = {"astar", "soplex",
+                                             "sphinx3", "bzip2"};
+
+    bench::printHeader(
+        "Ablation: Mask Cache on/off",
+        {"on_%", "on_viol", "off_%", "off_viol"});
+
+    for (const auto &wl : subset) {
+        auto base =
+            sim::runWorkload(wl, ooo::CoreMode::Baseline, spec);
+        const double b = std::max(base.core.ipc, 1e-9);
+
+        ooo::CoreConfig on;
+        auto ron = sim::runWorkload(wl, ooo::CoreMode::Cdf, spec, on);
+        ooo::CoreConfig off;
+        off.cdf.fillBuffer.useMaskCache = false;
+        auto roff =
+            sim::runWorkload(wl, ooo::CoreMode::Cdf, spec, off);
+
+        bench::printRow(
+            wl,
+            {(ron.core.ipc / b - 1) * 100,
+             static_cast<double>(
+                 ron.stats.get("core.dependence_violations")),
+             (roff.core.ipc / b - 1) * 100,
+             static_cast<double>(
+                 roff.stats.get("core.dependence_violations"))});
+    }
+    std::printf("\npaper: the mask cache reduces dependence "
+                "violations significantly;\nviolation overhead stays "
+                "under 2%% of cycles\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Not a paper figure: a diagnostic dump of the mechanism-level
+ * counters (CDF episode counts, violation rates, uop-cache hit
+ * rates, fill-buffer densities, runahead activity) for every
+ * workload and mode. Used to understand WHY the figures look the
+ * way they do.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace cdfsim;
+
+int
+main()
+{
+    auto spec = bench::figureRunSpec();
+    spec.measureInstrs = 120'000;
+
+    for (const auto &name : workloads::allWorkloadNames()) {
+        std::printf("\n=== %s ===\n", name.c_str());
+        for (auto mode : {ooo::CoreMode::Baseline, ooo::CoreMode::Cdf,
+                          ooo::CoreMode::Pre}) {
+            auto r = sim::runWorkload(name, mode, spec);
+            const char *m = mode == ooo::CoreMode::Baseline ? "base"
+                            : mode == ooo::CoreMode::Cdf    ? "cdf "
+                                                            : "pre ";
+            const auto &s = r.stats;
+            std::printf(
+                "%s ipc=%.3f mlp=%.2f llcMPKI=%.1f brMPKI=%.1f "
+                "fws=%.2f\n",
+                m, r.core.ipc, r.core.mlp, r.core.llcMpki,
+                r.core.branchMpki, r.core.fullWindowStallFraction);
+            if (mode == ooo::CoreMode::Cdf) {
+                std::printf(
+                    "     episodes=%lu exitsUopMiss=%lu critRenamed=%lu"
+                    " depViol=%lu memViol=%lu cdfFrac=%.2f\n",
+                    s.get("core.cdf_episodes"),
+                    s.get("core.cdf_exits_uop_miss"),
+                    s.get("core.renamed_critical_uops"),
+                    s.get("core.dependence_violations"),
+                    s.get("core.memory_order_violations"),
+                    r.core.cdfModeFraction);
+                std::printf(
+                    "     walks=%lu rejLo=%lu rejHi=%lu marked=%lu "
+                    "traces=%lu uopHit=%lu uopMiss=%lu grows=%lu "
+                    "shrinks=%lu\n",
+                    s.get("fill_buffer.walks"),
+                    s.get("fill_buffer.walks_rejected_low"),
+                    s.get("fill_buffer.walks_rejected_high"),
+                    s.get("fill_buffer.uops_marked"),
+                    s.get("fill_buffer.traces_filled"),
+                    s.get("uop_cache.hits"), s.get("uop_cache.misses"),
+                    s.get("rob.partition_grows"),
+                    s.get("rob.partition_shrinks"));
+            }
+            if (mode == ooo::CoreMode::Pre) {
+                std::printf(
+                    "     raEpisodes=%lu raUops=%lu raLoads=%lu "
+                    "walks=%lu traces=%lu dramRA=%lu\n",
+                    s.get("core.runahead_episodes"),
+                    s.get("core.runahead_uops"),
+                    s.get("core.runahead_loads"),
+                    s.get("fill_buffer.walks"),
+                    s.get("fill_buffer.traces_filled"),
+                    s.get("dram.runahead_reads"));
+            }
+        }
+    }
+    return 0;
+}

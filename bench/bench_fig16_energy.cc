@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Regenerates Fig. 16: total energy relative to the baseline for CDF
+ * and PRE. Paper: CDF reduces energy by ~3.5% overall (runtime
+ * reduction dominates the ~2% structure overhead), while PRE
+ * increases it by ~3.7% (duplicated execution and extra DRAM
+ * traffic).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace cdfsim;
+
+int
+main()
+{
+    const auto spec = bench::figureRunSpec();
+    bench::printHeader(
+        "Fig. 16: energy relative to baseline",
+        {"base_uJ", "cdf_rel", "pre_rel", "cdf_dram_rel"});
+
+    std::vector<double> cdfRel, preRel;
+    for (const auto &name : workloads::allWorkloadNames()) {
+        auto base =
+            sim::runWorkload(name, ooo::CoreMode::Baseline, spec);
+        auto cdf = sim::runWorkload(name, ooo::CoreMode::Cdf, spec);
+        auto pre = sim::runWorkload(name, ooo::CoreMode::Pre, spec);
+
+        const double b = std::max(base.energy.totalUj, 1e-9);
+        const double rc = cdf.energy.totalUj / b;
+        const double rp = pre.energy.totalUj / b;
+        cdfRel.push_back(rc);
+        preRel.push_back(rp);
+        bench::printRow(name,
+                        {base.energy.totalUj, rc, rp,
+                         cdf.energy.dramUj /
+                             std::max(base.energy.dramUj, 1e-9)});
+    }
+    std::printf("%-12s %12s %12.3f %12.3f\n", "geomean", "",
+                sim::geomean(cdfRel), sim::geomean(preRel));
+    std::printf("\npaper: CDF -3.5%% energy, PRE +3.7%%\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Regenerates Fig. 17: IPC and energy of baseline and CDF cores as
+ * the OoO window scales (ROB size, with RS/LQ/SQ/PRF scaled
+ * proportionately, per the paper). Includes the paper's
+ * area-equivalence observation: a baseline scaled to CDF's extra
+ * area gains less than CDF does.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "energy/energy_model.hh"
+
+using namespace cdfsim;
+
+int
+main()
+{
+    auto spec = bench::figureRunSpec();
+    spec.measureInstrs = 120'000;
+
+    // Memory-sensitive subset: scaling studies on the benchmarks the
+    // paper calls out (roms/fotonik benefit from larger windows).
+    const std::vector<std::string> subset = {
+        "astar", "soplex", "lbm", "fotonik", "roms", "mcf"};
+    const double factors[] = {0.5, 0.75, 1.0, 1.5, 2.0};
+
+    std::printf("\n== Fig. 17: IPC and energy vs window size ==\n");
+    std::printf("%-8s %8s %12s %12s %12s %12s\n", "scale", "rob",
+                "base_ipc", "cdf_ipc", "base_uJ", "cdf_uJ");
+
+    for (double f : factors) {
+        std::vector<double> baseIpc, cdfIpc, baseUj, cdfUj;
+        unsigned rob = 0;
+        for (const auto &name : subset) {
+            ooo::CoreConfig cfg;
+            cfg.scaleWindow(f);
+            rob = cfg.robSize;
+            auto base = sim::runWorkload(
+                name, ooo::CoreMode::Baseline, spec, cfg);
+            auto cdf =
+                sim::runWorkload(name, ooo::CoreMode::Cdf, spec, cfg);
+            baseIpc.push_back(std::max(base.core.ipc, 1e-9));
+            cdfIpc.push_back(std::max(cdf.core.ipc, 1e-9));
+            baseUj.push_back(std::max(base.energy.totalUj, 1e-9));
+            cdfUj.push_back(std::max(cdf.energy.totalUj, 1e-9));
+        }
+        std::printf("%-8.2f %8u %12.3f %12.3f %12.1f %12.1f\n", f,
+                    rob, sim::geomean(baseIpc), sim::geomean(cdfIpc),
+                    sim::geomean(baseUj), sim::geomean(cdfUj));
+    }
+
+    // Area-equivalent baseline: scale the window so the added area
+    // matches CDF's structure overhead.
+    ooo::CoreConfig ref;
+    const double cdfAreaFrac = energy::Model::cdfArea(ref) /
+                               energy::Model::coreArea(ref);
+    ooo::CoreConfig big;
+    big.scaleWindow(1.0 + cdfAreaFrac * 4.0); // window ~= area knob
+    std::printf("\nArea-equivalent scaled baseline (ROB %u):\n",
+                big.robSize);
+    std::vector<double> bigRel, cdfRel;
+    for (const auto &name : subset) {
+        auto base = sim::runWorkload(name, ooo::CoreMode::Baseline,
+                                     spec);
+        auto scaled = sim::runWorkload(
+            name, ooo::CoreMode::Baseline, spec, big);
+        auto cdf = sim::runWorkload(name, ooo::CoreMode::Cdf, spec);
+        bigRel.push_back(scaled.core.ipc /
+                         std::max(base.core.ipc, 1e-9));
+        cdfRel.push_back(cdf.core.ipc /
+                         std::max(base.core.ipc, 1e-9));
+    }
+    std::printf("scaled baseline IPC: %+.1f%%, CDF IPC: %+.1f%% "
+                "(paper: +3.7%% vs +6.1%%)\n",
+                (sim::geomean(bigRel) - 1.0) * 100.0,
+                (sim::geomean(cdfRel) - 1.0) * 100.0);
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's own
+ * components: cache access, DRAM scheduling, TAGE prediction, the
+ * functional interpreter, the fill-buffer walk and whole-core
+ * simulation throughput. Not a paper figure; this keeps the
+ * simulator fast enough that the figure harnesses stay cheap.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bp/tage.hh"
+#include "cdf/fill_buffer.hh"
+#include "common/random.hh"
+#include "isa/interpreter.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "ooo/core.hh"
+#include "workloads/workloads.hh"
+
+using namespace cdfsim;
+
+static void
+BM_CacheAccess(benchmark::State &state)
+{
+    StatRegistry stats;
+    mem::Cache cache({"c", 32 * 1024, 8, 2, 12}, stats);
+    Random rng(1);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const Addr a = rng.below(1 << 20) * 64;
+        benchmark::DoNotOptimize(cache.access(
+            a, false, ++now, [](Cycle s) { return s + 100; }));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+static void
+BM_DramAccess(benchmark::State &state)
+{
+    StatRegistry stats;
+    mem::DramModel dram(mem::DramConfig{}, stats);
+    Random rng(2);
+    Cycle now = 0;
+    for (auto _ : state) {
+        now += 20;
+        benchmark::DoNotOptimize(
+            dram.access(rng.below(1 << 22) * 64, false, now));
+    }
+}
+BENCHMARK(BM_DramAccess);
+
+static void
+BM_TagePredictUpdate(benchmark::State &state)
+{
+    StatRegistry stats;
+    bp::Tage tage(bp::TageConfig{}, stats);
+    Random rng(3);
+    for (auto _ : state) {
+        const Addr pc = rng.below(64);
+        auto info = tage.predict(pc);
+        tage.update(pc, rng.chancePercent(60), info);
+    }
+}
+BENCHMARK(BM_TagePredictUpdate);
+
+static void
+BM_Interpreter(benchmark::State &state)
+{
+    auto w = workloads::makeWorkload("astar");
+    isa::MemoryImage mem = w.makeMemory();
+    isa::Interpreter interp(w.program, mem);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(interp.step());
+}
+BENCHMARK(BM_Interpreter);
+
+static void
+BM_CoreTickBaseline(benchmark::State &state)
+{
+    auto w = workloads::makeWorkload("astar");
+    isa::MemoryImage mem = w.makeMemory();
+    StatRegistry stats;
+    ooo::CoreConfig cfg;
+    ooo::Core core(cfg, w.program, mem, stats);
+    for (auto _ : state)
+        core.tick();
+    state.counters["retired/cycle"] = benchmark::Counter(
+        static_cast<double>(core.retired()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CoreTickBaseline);
+
+static void
+BM_CoreTickCdf(benchmark::State &state)
+{
+    auto w = workloads::makeWorkload("astar");
+    isa::MemoryImage mem = w.makeMemory();
+    StatRegistry stats;
+    ooo::CoreConfig cfg;
+    cfg.mode = ooo::CoreMode::Cdf;
+    ooo::Core core(cfg, w.program, mem, stats);
+    core.run(50'000); // warm into CDF mode
+    for (auto _ : state)
+        core.tick();
+}
+BENCHMARK(BM_CoreTickCdf);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration benchmark binaries.
+ */
+
+#ifndef CDFSIM_BENCH_BENCH_UTIL_HH
+#define CDFSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace cdfsim::bench
+{
+
+/** Default per-benchmark run lengths for the figure harnesses. */
+inline sim::RunSpec
+figureRunSpec()
+{
+    sim::RunSpec spec;
+    spec.warmupInstrs = 300'000;
+    spec.measureInstrs = 200'000;
+    return spec;
+}
+
+/** Print a markdown-ish table header. */
+inline void
+printHeader(const std::string &title,
+            const std::vector<std::string> &cols)
+{
+    std::printf("\n== %s ==\n", title.c_str());
+    std::printf("%-12s", "workload");
+    for (const auto &c : cols)
+        std::printf(" %12s", c.c_str());
+    std::printf("\n");
+}
+
+inline void
+printRow(const std::string &name, const std::vector<double> &vals,
+         const char *fmt = "%12.3f")
+{
+    std::printf("%-12s", name.c_str());
+    for (double v : vals)
+        std::printf(fmt, v);
+    std::printf("\n");
+}
+
+} // namespace cdfsim::bench
+
+#endif // CDFSIM_BENCH_BENCH_UTIL_HH

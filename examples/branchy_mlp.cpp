@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Domain example: the paper's Section 2.2 effect — fetching critical
+ * loads past hard-to-predict branches. Runs the astar-like workload
+ * with and without critical-branch marking and shows the mechanism
+ * counters (mispredicts, CDF episodes, critical-stream size).
+ *
+ *   $ ./examples/branchy_mlp
+ */
+
+#include <cstdio>
+
+#include "sim/simulator.hh"
+
+using namespace cdfsim;
+
+int
+main()
+{
+    sim::RunSpec spec;
+    spec.warmupInstrs = 250'000;
+    spec.measureInstrs = 100'000;
+
+    std::printf("branchy_mlp: astar-like random misses behind hard "
+                "branches\n\n");
+
+    auto base = sim::runWorkload("astar", ooo::CoreMode::Baseline,
+                                 spec);
+
+    ooo::CoreConfig withBr;
+    auto cdfBr =
+        sim::runWorkload("astar", ooo::CoreMode::Cdf, spec, withBr);
+
+    ooo::CoreConfig noBr;
+    noBr.cdf.markCriticalBranches = false;
+    auto cdfNoBr =
+        sim::runWorkload("astar", ooo::CoreMode::Cdf, spec, noBr);
+
+    auto row = [&](const char *name, const sim::RunResult &r) {
+        std::printf("%-22s %8.3f %8.2f %10.1f %10lu\n", name,
+                    r.core.ipc, r.core.mlp, r.core.branchMpki,
+                    static_cast<unsigned long>(
+                        r.stats.get("core.renamed_critical_uops")));
+    };
+
+    std::printf("%-22s %8s %8s %10s %10s\n", "mode", "ipc", "mlp",
+                "brMPKI", "crit_uops");
+    row("baseline", base);
+    row("cdf (branches crit)", cdfBr);
+    row("cdf (loads only)", cdfNoBr);
+
+    std::printf("\nMarking hard-to-predict branches critical lets "
+                "the critical stream\nresolve them early and keep "
+                "fetching correct-path loads (Section 2.2);\nthe "
+                "paper's geomean drops from 6.1%% to 3.8%% without "
+                "it.\n");
+    std::printf("speedup with branches: %+.1f%%, without: %+.1f%%\n",
+                (cdfBr.core.ipc / base.core.ipc - 1) * 100,
+                (cdfNoBr.core.ipc / base.core.ipc - 1) * 100);
+    return 0;
+}

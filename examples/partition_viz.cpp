@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Domain example: visualize Section 3.5's dynamic window
+ * partitioning. Runs a CDF core cycle-by-cycle and periodically
+ * prints the ROB's critical-section capacity and occupancies as the
+ * partition controller reacts to full-window stalls in each section.
+ *
+ *   $ ./examples/partition_viz
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "ooo/core.hh"
+#include "workloads/workloads.hh"
+
+using namespace cdfsim;
+
+int
+main()
+{
+    auto w = workloads::makeWorkload("soplex");
+    isa::MemoryImage mem = w.makeMemory();
+    StatRegistry stats;
+    ooo::CoreConfig cfg;
+    cfg.mode = ooo::CoreMode::Cdf;
+    ooo::Core core(cfg, w.program, mem, stats);
+
+    // Warm until CDF engages.
+    core.run(250'000);
+
+    std::printf("partition_viz: ROB critical-section capacity over "
+                "time (ROB=%u)\n\n",
+                cfg.robSize);
+    std::printf("%10s %8s %8s %10s %30s\n", "cycle", "critCap",
+                "occ", "cdfMode", "critical share of ROB");
+
+    for (int sample = 0; sample < 30; ++sample) {
+        for (int i = 0; i < 2000; ++i)
+            core.tick();
+        const unsigned cap = core.robCriticalCap();
+        const double frac =
+            static_cast<double>(cap) / cfg.robSize;
+        std::string bar(static_cast<std::size_t>(frac * 30.0), '#');
+        bar.resize(30, '.');
+        std::printf("%10lu %8u %8zu %10s [%s]\n",
+                    static_cast<unsigned long>(core.cycle()), cap,
+                    core.robOccupancy(),
+                    core.inCdfMode() ? "CDF" : "regular",
+                    bar.c_str());
+    }
+
+    std::printf("\ngrows=%lu shrinks=%lu (stall-driven resizing, "
+                "Section 3.5)\n",
+                static_cast<unsigned long>(
+                    stats.get("rob.partition_grows")),
+                static_cast<unsigned long>(
+                    stats.get("rob.partition_shrinks")));
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Domain example: serial pointer chasing (the paper's mcf-like
+ * behaviour). There is no MLP to extract from a single dependence
+ * chain, so CDF's benefit here comes from initiating each chain
+ * load earlier (skipping the non-critical work between hops) and
+ * from resolving hard payload branches early — while runahead
+ * chains taint on the outstanding miss and prefetch wrong lines.
+ *
+ *   $ ./examples/pointer_chase
+ */
+
+#include <cstdio>
+
+#include "sim/simulator.hh"
+
+using namespace cdfsim;
+
+int
+main()
+{
+    sim::RunSpec spec;
+    spec.warmupInstrs = 150'000;
+    spec.measureInstrs = 80'000;
+
+    std::printf("pointer_chase: mcf-like serial dependence chains\n\n");
+    std::printf("%-10s %8s %8s %10s %12s %12s\n", "mode", "ipc",
+                "mlp", "llcMPKI", "dram_bytes", "runahead_rd");
+
+    for (auto mode : {ooo::CoreMode::Baseline, ooo::CoreMode::Cdf,
+                      ooo::CoreMode::Pre}) {
+        auto r = sim::runWorkload("mcf", mode, spec);
+        const char *name = mode == ooo::CoreMode::Baseline ? "baseline"
+                           : mode == ooo::CoreMode::Cdf    ? "cdf"
+                                                           : "pre";
+        std::printf("%-10s %8.3f %8.2f %10.1f %12lu %12lu\n", name,
+                    r.core.ipc, r.core.mlp, r.core.llcMpki,
+                    static_cast<unsigned long>(r.core.dramBytes),
+                    static_cast<unsigned long>(
+                        r.stats.get("dram.runahead_reads")));
+    }
+
+    std::printf("\nNote the PRE row's runahead reads: chains that "
+                "depend on the\noutstanding miss compute wrong "
+                "addresses — traffic without benefit.\n");
+    return 0;
+}

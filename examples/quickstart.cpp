@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Quickstart: assemble a small kernel with the public ProgramBuilder
+ * API, run it on a baseline OoO core and on a CDF core, and compare.
+ *
+ *   $ ./examples/quickstart
+ *
+ * The kernel is a miniature of the paper's Fig. 2 astar loop: a
+ * prefetch-friendly index load feeding a random-index load that
+ * misses the LLC.
+ */
+
+#include <cstdio>
+
+#include "common/random.hh"
+#include "ooo/core.hh"
+#include "sim/simulator.hh"
+
+using namespace cdfsim;
+
+namespace
+{
+
+workloads::Workload
+buildKernel()
+{
+    // Registers: r0 countdown, r1 stream base, r2 big base,
+    // r3 masks, r8.. temps.
+    isa::ProgramBuilder b("quickstart");
+    auto loop = b.makeLabel();
+    b.movi(0, 1'000'000'000);
+    b.movi(1, 0x10000000);            // small, LLC-resident array
+    b.movi(2, 0x40000000);            // 32MB random-access array
+    b.movi(3, (1 << 13) - 1);         // stream mask (words)
+    b.movi(4, (1 << 22) - 1);         // big mask (words)
+    b.movi(5, 3);                     // word->byte shift
+    b.movi(7, 0);                     // induction
+    b.bind(loop);
+    b.addi(7, 7, 1);
+    b.and_(8, 7, 3);                  // stream index
+    b.shl(8, 8, 5);
+    b.add(8, 8, 1);
+    b.load(9, 8, 0);                  // index load (hits)
+    b.add(9, 9, 7);
+    b.and_(9, 9, 4);                  // random index
+    b.shl(9, 9, 5);
+    b.add(9, 9, 2);
+    b.load(10, 9, 0);                 // the critical load (misses)
+    b.add(11, 11, 10);
+    for (int i = 0; i < 14; ++i)      // non-critical filler
+        b.addi(static_cast<RegId>(16 + (i % 6)),
+               static_cast<RegId>(16 + (i % 6)), 1);
+    b.addi(0, 0, -1);
+    b.bnez(0, loop);
+    b.halt();
+
+    workloads::Workload w;
+    w.name = "quickstart";
+    w.program = b.build();
+    w.init = [](isa::MemoryImage &mem) {
+        Random rng(42);
+        for (std::uint64_t i = 0; i < (1 << 13); ++i)
+            mem.write(0x10000000 + i * 8, rng.next());
+    };
+    return w;
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::RunSpec spec;
+    spec.warmupInstrs = 200'000;
+    spec.measureInstrs = 100'000;
+
+    std::printf("quickstart: running the Fig. 2-style kernel...\n\n");
+
+    sim::Simulator base(ooo::CoreConfig{}, buildKernel());
+    auto rb = base.run(spec);
+
+    ooo::CoreConfig cdfCfg;
+    cdfCfg.mode = ooo::CoreMode::Cdf;
+    sim::Simulator cdf(cdfCfg, buildKernel());
+    auto rc = cdf.run(spec);
+
+    std::printf("            %12s %12s\n", "baseline", "CDF");
+    std::printf("IPC         %12.3f %12.3f\n", rb.core.ipc,
+                rc.core.ipc);
+    std::printf("MLP         %12.2f %12.2f\n", rb.core.mlp,
+                rc.core.mlp);
+    std::printf("LLC MPKI    %12.1f %12.1f\n", rb.core.llcMpki,
+                rc.core.llcMpki);
+    std::printf("stall frac  %12.2f %12.2f\n",
+                rb.core.fullWindowStallFraction,
+                rc.core.fullWindowStallFraction);
+    std::printf("\nspeedup: %+.1f%%  (CDF packs more independent "
+                "critical loads into the window)\n",
+                (rc.core.ipc / rb.core.ipc - 1.0) * 100.0);
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Branch target buffer and return address stack.
+ */
+
+#ifndef CDFSIM_BP_BTB_HH
+#define CDFSIM_BP_BTB_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace cdfsim::bp
+{
+
+/** Direct-mapped tagged branch target buffer. */
+class Btb
+{
+  public:
+    Btb(std::size_t entries, StatRegistry &stats)
+        : entries_(entries),
+          hits_(stats.counter("btb.hits")),
+          misses_(stats.counter("btb.misses"))
+    {
+        SIM_ASSERT(entries > 0, "BTB needs entries");
+    }
+
+    /** Look up the taken target for the branch at @p pc. */
+    std::optional<Addr>
+    lookup(Addr pc)
+    {
+        const Entry &e = entries_[pc % entries_.size()];
+        if (e.valid && e.tag == pc) {
+            ++hits_;
+            return e.target;
+        }
+        ++misses_;
+        return std::nullopt;
+    }
+
+    /** Install/refresh the mapping pc -> target. */
+    void
+    update(Addr pc, Addr target)
+    {
+        Entry &e = entries_[pc % entries_.size()];
+        e.valid = true;
+        e.tag = pc;
+        e.target = target;
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr tag = 0;
+        Addr target = 0;
+    };
+
+    std::vector<Entry> entries_;
+    std::uint64_t &hits_;
+    std::uint64_t &misses_;
+};
+
+/**
+ * Return address stack. Fetch pushes on Call and pops on Ret; the
+ * whole stack is checkpointed per in-flight branch (it is small) so
+ * recovery is exact.
+ */
+class Ras
+{
+  public:
+    explicit Ras(std::size_t depth) : stack_(depth), top_(0), size_(0) {}
+
+    void
+    push(Addr returnPc)
+    {
+        stack_[top_] = returnPc;
+        top_ = (top_ + 1) % stack_.size();
+        if (size_ < stack_.size())
+            ++size_;
+    }
+
+    /** Pop the predicted return target; empty stacks predict 0. */
+    Addr
+    pop()
+    {
+        if (size_ == 0)
+            return 0;
+        top_ = (top_ + stack_.size() - 1) % stack_.size();
+        --size_;
+        return stack_[top_];
+    }
+
+    /** Copyable snapshot for checkpointing. */
+    struct Snapshot
+    {
+        std::vector<Addr> stack;
+        std::size_t top;
+        std::size_t size;
+    };
+
+    Snapshot snapshot() const { return {stack_, top_, size_}; }
+
+    void
+    restore(const Snapshot &s)
+    {
+        stack_ = s.stack;
+        top_ = s.top;
+        size_ = s.size;
+    }
+
+  private:
+    std::vector<Addr> stack_;
+    std::size_t top_;
+    std::size_t size_;
+};
+
+} // namespace cdfsim::bp
+
+#endif // CDFSIM_BP_BTB_HH

@@ -1,0 +1,347 @@
+#include "bp/tage.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace cdfsim::bp
+{
+
+Tage::Tage(const TageConfig &config, StatRegistry &stats)
+    : config_(config),
+      bimodal_(std::size_t{1} << config.bimodalBitsLog2, 2),
+      loops_(config.loopEntries),
+      scTable_(std::size_t{1} << config.scEntriesLog2, 0),
+      lookups_(stats.counter("tage.lookups")),
+      scFlips_(stats.counter("tage.sc_flips")),
+      loopPredictions_(stats.counter("tage.loop_predictions"))
+{
+    SIM_ASSERT(config_.numTables >= 1 &&
+                   config_.numTables <= kMaxTageTables,
+               "bad TAGE table count");
+    // Geometric history length series between min and max.
+    histLengths_.resize(config_.numTables);
+    const double ratio =
+        config_.numTables == 1
+            ? 1.0
+            : std::pow(static_cast<double>(config_.maxHistory) /
+                           config_.minHistory,
+                       1.0 / (config_.numTables - 1));
+    double len = config_.minHistory;
+    for (unsigned t = 0; t < config_.numTables; ++t) {
+        histLengths_[t] = std::max<unsigned>(
+            1, static_cast<unsigned>(len + 0.5));
+        len *= ratio;
+    }
+    tables_.assign(config_.numTables,
+                   std::vector<TaggedEntry>(std::size_t{1}
+                                            << config_.tableBitsLog2));
+}
+
+std::uint64_t
+Tage::foldHistory(unsigned length, unsigned bits) const
+{
+    SIM_ASSERT(bits > 0 && bits <= 32, "bad fold width");
+    std::uint64_t folded = 0;
+    std::uint64_t chunk = 0;
+    unsigned inChunk = 0;
+    const unsigned limit = std::min<unsigned>(length, 256);
+    for (unsigned i = 0; i < limit; ++i) {
+        chunk = (chunk << 1) | (history_[i] ? 1u : 0u);
+        if (++inChunk == bits) {
+            folded ^= chunk;
+            chunk = 0;
+            inChunk = 0;
+        }
+    }
+    folded ^= chunk;
+    return folded & ((std::uint64_t{1} << bits) - 1);
+}
+
+unsigned
+Tage::tableIndex(Addr pc, unsigned table) const
+{
+    const unsigned bits = config_.tableBitsLog2;
+    const std::uint64_t h = foldHistory(histLengths_[table], bits);
+    const std::uint64_t mix =
+        pc ^ (pc >> bits) ^ h ^ (pathHistory_ & 0xFFFF) ^
+        (static_cast<std::uint64_t>(table) << 3);
+    return static_cast<unsigned>(mix & ((1u << bits) - 1));
+}
+
+std::uint16_t
+Tage::tableTag(Addr pc, unsigned table) const
+{
+    const unsigned bits = config_.tagBits;
+    const std::uint64_t h = foldHistory(histLengths_[table], bits);
+    const std::uint64_t h2 =
+        foldHistory(histLengths_[table], bits > 2 ? bits - 1 : bits);
+    const std::uint64_t mix = pc ^ (pc >> 5) ^ h ^ (h2 << 1);
+    return static_cast<std::uint16_t>(mix & ((1u << bits) - 1));
+}
+
+void
+Tage::pushHistory(bool taken, Addr pc)
+{
+    history_ <<= 1;
+    history_[0] = taken;
+    pathHistory_ = (pathHistory_ << 1) ^
+                   (static_cast<std::uint32_t>(pc) & 0x3F);
+}
+
+Tage::LoopEntry *
+Tage::loopLookup(Addr pc)
+{
+    const std::uint16_t tag =
+        static_cast<std::uint16_t>(pc ^ (pc >> 7));
+    auto &e = loops_[pc % loops_.size()];
+    if (e.valid && e.tag == tag)
+        return &e;
+    return nullptr;
+}
+
+TagePredictionInfo
+Tage::predict(Addr pc)
+{
+    ++lookups_;
+    TagePredictionInfo info;
+
+    // Bimodal fallback.
+    auto &bim =
+        bimodal_[pc & ((std::size_t{1} << config_.bimodalBitsLog2) - 1)];
+    bool pred = bim >= 2;
+    bool alt = pred;
+    int provider = -1;
+    bool providerWeak = true;
+
+    // Stash the indices/tags this lookup uses: update time must
+    // address exactly these entries.
+    for (unsigned t = 0; t < config_.numTables; ++t) {
+        info.indices[t] = tableIndex(pc, t);
+        info.tags[t] = tableTag(pc, t);
+    }
+
+    // Longest-history tagged match wins; next match is the altpred.
+    bool sawProvider = false;
+    for (int t = static_cast<int>(config_.numTables) - 1; t >= 0; --t) {
+        const TaggedEntry &e = tables_[t][info.indices[t]];
+        if (e.tag == info.tags[t]) {
+            if (!sawProvider) {
+                sawProvider = true;
+                provider = t;
+                pred = e.ctr >= 0;
+                providerWeak = e.ctr == 0 || e.ctr == -1;
+                alt = pred;
+            } else {
+                alt = e.ctr >= 0;
+                break;
+            }
+        }
+    }
+
+    info.tageTaken = pred;
+    info.providerTable = provider;
+    info.providerWeak = providerWeak;
+    info.altTaken = alt;
+
+    // Loop predictor overrides when highly confident. Prediction
+    // uses the SPECULATIVE iteration count (advanced here, restored
+    // on recovery): many instances of the branch can be in flight,
+    // so the architectural count is stale at predict time.
+    if (LoopEntry *loop = loopLookup(pc)) {
+        if (loop->confidence >= config_.loopConfidenceMax &&
+            loop->tripCount > 0) {
+            info.loopUsed = true;
+            info.loopIndex = static_cast<unsigned>(pc % loops_.size());
+            // Taken while fewer than tripCount takens have occurred
+            // since the last exit; the exit instance falls through.
+            pred = loop->specIter < loop->tripCount;
+            ++loopPredictions_;
+        }
+        if (pred)
+            ++loop->specIter;
+        else
+            loop->specIter = 0;
+    }
+
+    // Statistical corrector: flip weak TAGE predictions when the SC
+    // counter strongly disagrees.
+    if (!info.loopUsed && providerWeak) {
+        const std::uint32_t scIdx = static_cast<std::uint32_t>(
+            (pc ^ historyHash(16) ^ (pred ? 0x55AA : 0)) &
+            ((std::uint32_t{1} << config_.scEntriesLog2) - 1));
+        info.scUsed = true;
+        info.scIndex = scIdx;
+        const int sc = scTable_[scIdx];
+        if (static_cast<unsigned>(std::abs(sc)) >= config_.scThreshold &&
+            (sc >= 0) != pred) {
+            pred = sc >= 0;
+            ++scFlips_;
+        }
+    }
+
+    info.taken = pred;
+    pushHistory(pred, pc);
+    return info;
+}
+
+TageCheckpoint
+Tage::checkpoint() const
+{
+    TageCheckpoint c;
+    c.history = history_;
+    c.pathHistory = pathHistory_;
+    c.loopSpecIters.resize(loops_.size());
+    for (std::size_t i = 0; i < loops_.size(); ++i)
+        c.loopSpecIters[i] = loops_[i].specIter;
+    return c;
+}
+
+void
+Tage::recover(const TageCheckpoint &ckpt, bool actualTaken, Addr pc)
+{
+    history_ = ckpt.history;
+    pathHistory_ = ckpt.pathHistory;
+    for (std::size_t i = 0;
+         i < loops_.size() && i < ckpt.loopSpecIters.size(); ++i) {
+        loops_[i].specIter = ckpt.loopSpecIters[i];
+    }
+    // The recovering branch itself resolved: re-insert its real
+    // outcome. (The checkpoint was taken before its prediction.)
+    history_ <<= 1;
+    history_[0] = actualTaken;
+    pathHistory_ <<= 1;
+    if (LoopEntry *loop = loopLookup(pc)) {
+        if (actualTaken)
+            ++loop->specIter;
+        else
+            loop->specIter = 0;
+    }
+}
+
+void
+Tage::restore(const TageCheckpoint &ckpt)
+{
+    history_ = ckpt.history;
+    pathHistory_ = ckpt.pathHistory;
+    for (std::size_t i = 0;
+         i < loops_.size() && i < ckpt.loopSpecIters.size(); ++i) {
+        loops_[i].specIter = ckpt.loopSpecIters[i];
+    }
+}
+
+void
+Tage::loopUpdate(Addr pc, bool taken, const TagePredictionInfo &info)
+{
+    const std::uint16_t tag =
+        static_cast<std::uint16_t>(pc ^ (pc >> 7));
+    auto &e = loops_[pc % loops_.size()];
+    if (!e.valid || e.tag != tag) {
+        if (!taken)
+            return; // only track loops on their backward-taken edge
+        e.valid = true;
+        e.tag = tag;
+        e.tripCount = 0;
+        e.currentIter = 1;
+        e.confidence = 0;
+        return;
+    }
+
+    if (taken) {
+        ++e.currentIter;
+        if (e.tripCount != 0 && e.currentIter > e.tripCount) {
+            // Ran longer than the learned trip count: unlearn.
+            e.confidence = 0;
+            e.tripCount = 0;
+        }
+        return;
+    }
+
+    // Loop exit: does the trip count repeat?
+    if (e.tripCount == e.currentIter) {
+        if (e.confidence < config_.loopConfidenceMax)
+            ++e.confidence;
+    } else {
+        e.tripCount = e.currentIter;
+        e.confidence = info.loopUsed ? 0 : 1;
+        e.specIter = 0; // resync speculation on a trip-count change
+    }
+    e.currentIter = 0;
+}
+
+void
+Tage::update(Addr pc, bool taken, const TagePredictionInfo &info)
+{
+    auto bump = [](std::int8_t &ctr, bool up, int lo, int hi) {
+        if (up && ctr < hi)
+            ++ctr;
+        else if (!up && ctr > lo)
+            --ctr;
+    };
+
+    const int ctrMax = (1 << (config_.counterBits - 1)) - 1;
+    const int ctrMin = -(1 << (config_.counterBits - 1));
+
+    // Provider update.
+    if (info.providerTable >= 0) {
+        TaggedEntry &e =
+            tables_[info.providerTable]
+                   [info.indices[info.providerTable]];
+        bump(e.ctr, taken, ctrMin, ctrMax);
+        if (info.tageTaken != info.altTaken) {
+            if (info.tageTaken == taken) {
+                if (e.useful < ((1u << config_.usefulBits) - 1))
+                    ++e.useful;
+            } else if (e.useful > 0) {
+                --e.useful;
+            }
+        }
+    } else {
+        auto &bim = bimodal_[pc & ((std::size_t{1}
+                                    << config_.bimodalBitsLog2) - 1)];
+        if (taken && bim < 3)
+            ++bim;
+        else if (!taken && bim > 0)
+            --bim;
+    }
+
+    // Allocate a longer-history entry on a TAGE mispredict.
+    if (info.tageTaken != taken &&
+        info.providerTable <
+            static_cast<int>(config_.numTables) - 1) {
+        for (unsigned t = info.providerTable + 1; t < config_.numTables;
+             ++t) {
+            TaggedEntry &e = tables_[t][info.indices[t]];
+            if (e.useful == 0) {
+                e.tag = info.tags[t];
+                e.ctr = taken ? 0 : -1;
+                break;
+            }
+            // Aging: periodically decay useful bits so allocation
+            // cannot be starved forever.
+            if ((++allocTick_ & 0xFF) == 0 && e.useful > 0)
+                --e.useful;
+        }
+    }
+
+    // Statistical corrector training.
+    if (info.scUsed) {
+        std::int8_t &sc = scTable_[info.scIndex];
+        if (taken && sc < 31)
+            ++sc;
+        else if (!taken && sc > -32)
+            --sc;
+    }
+
+    loopUpdate(pc, taken, info);
+}
+
+std::uint64_t
+Tage::historyHash(unsigned bits) const
+{
+    return foldHistory(64, bits);
+}
+
+} // namespace cdfsim::bp

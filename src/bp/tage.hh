@@ -1,0 +1,161 @@
+/**
+ * @file
+ * TAGE-SC-L-style conditional branch direction predictor.
+ *
+ * Structure follows Seznec's TAGE-SC-L (Table 1's predictor):
+ *  - a bimodal base predictor,
+ *  - N partially-tagged tables indexed with geometrically increasing
+ *    global-history lengths,
+ *  - a loop predictor for constant-trip-count loops,
+ *  - a small statistical corrector that can flip low-confidence TAGE
+ *    predictions when its own counters strongly disagree.
+ *
+ * History is maintained speculatively; the fetch stage checkpoints it
+ * per in-flight branch and restores on mispredict recovery.
+ */
+
+#ifndef CDFSIM_BP_TAGE_HH
+#define CDFSIM_BP_TAGE_HH
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace cdfsim::bp
+{
+
+/** Global-history register wide enough for the longest TAGE table. */
+using History = std::bitset<256>;
+
+/** Tunables for the TAGE-SC-L predictor. */
+struct TageConfig
+{
+    unsigned numTables = 6;
+    unsigned tableBitsLog2 = 10;       //!< entries per tagged table
+    unsigned tagBits = 11;
+    unsigned counterBits = 3;
+    unsigned usefulBits = 2;
+    unsigned minHistory = 4;
+    unsigned maxHistory = 160;
+    unsigned bimodalBitsLog2 = 13;
+    unsigned loopEntries = 64;
+    unsigned loopConfidenceMax = 3;
+    unsigned scEntriesLog2 = 12;
+    unsigned scThreshold = 5;          //!< |sum| needed to flip TAGE
+};
+
+/** Everything needed to undo a speculative history update. */
+struct TageCheckpoint
+{
+    History history;
+    std::uint32_t pathHistory = 0;
+    /** Speculative loop-iteration counters (small table copy). */
+    std::vector<std::uint16_t> loopSpecIters;
+};
+
+/** Upper bound on tagged tables (for the per-prediction stash). */
+inline constexpr unsigned kMaxTageTables = 12;
+
+/**
+ * Per-prediction bookkeeping carried until update time. The table
+ * indices and tags computed at prediction time are stashed here so
+ * training and allocation address the entries the lookup actually
+ * touched, regardless of how the speculative history has moved on.
+ */
+struct TagePredictionInfo
+{
+    bool taken = false;           //!< final (post-SC, post-loop) output
+    bool tageTaken = false;       //!< raw TAGE output
+    int providerTable = -1;       //!< -1 == bimodal provided
+    bool providerWeak = false;
+    bool altTaken = false;
+    bool loopUsed = false;
+    unsigned loopIndex = 0;
+    bool scUsed = false;
+    std::uint32_t scIndex = 0;
+    std::array<unsigned, kMaxTageTables> indices{};
+    std::array<std::uint16_t, kMaxTageTables> tags{};
+};
+
+/** The direction predictor. */
+class Tage
+{
+  public:
+    Tage(const TageConfig &config, StatRegistry &stats);
+
+    /**
+     * Predict the direction of the conditional branch at @p pc and
+     * speculatively update the history with the prediction.
+     */
+    TagePredictionInfo predict(Addr pc);
+
+    /** Snapshot speculative state (taken before predict()). */
+    TageCheckpoint checkpoint() const;
+
+    /** Restore state after a mispredict, then re-insert the actual
+     *  outcome of the recovering branch at @p pc. */
+    void recover(const TageCheckpoint &ckpt, bool actualTaken,
+                 Addr pc);
+
+    /** Restore exactly (the checkpointed branch is squashed too). */
+    void restore(const TageCheckpoint &ckpt);
+
+    /**
+     * Train with the resolved outcome. @p info must be the structure
+     * returned by predict() for this branch instance.
+     */
+    void update(Addr pc, bool taken, const TagePredictionInfo &info);
+
+    /** Fold the running history for an external hash consumer. */
+    std::uint64_t historyHash(unsigned bits) const;
+
+  private:
+    struct TaggedEntry
+    {
+        std::uint16_t tag = 0;
+        std::int8_t ctr = 0;       //!< signed: >=0 predicts taken
+        std::uint8_t useful = 0;
+    };
+
+    struct LoopEntry
+    {
+        bool valid = false;
+        std::uint16_t tag = 0;
+        std::uint16_t tripCount = 0;
+        std::uint16_t currentIter = 0;  //!< architectural (at update)
+        std::uint16_t specIter = 0;     //!< speculative (at predict)
+        std::uint8_t confidence = 0;
+    };
+
+    unsigned tableIndex(Addr pc, unsigned table) const;
+    std::uint16_t tableTag(Addr pc, unsigned table) const;
+    std::uint64_t foldHistory(unsigned length, unsigned bits) const;
+    void pushHistory(bool taken, Addr pc);
+
+    // Loop predictor helpers.
+    LoopEntry *loopLookup(Addr pc);
+    void loopUpdate(Addr pc, bool taken, const TagePredictionInfo &info);
+
+    TageConfig config_;
+    std::vector<unsigned> histLengths_;
+    std::vector<std::vector<TaggedEntry>> tables_;
+    std::vector<std::uint8_t> bimodal_;
+    std::vector<LoopEntry> loops_;
+    std::vector<std::int8_t> scTable_;
+
+    History history_;
+    std::uint32_t pathHistory_ = 0;
+    std::uint64_t allocTick_ = 0;
+
+    std::uint64_t &lookups_;
+    std::uint64_t &scFlips_;
+    std::uint64_t &loopPredictions_;
+};
+
+} // namespace cdfsim::bp
+
+#endif // CDFSIM_BP_TAGE_HH

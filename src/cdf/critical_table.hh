@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Critical Count Tables (paper Section 3.2).
+ *
+ * A small set-associative table tracking, per static load, how often
+ * it misses in the LLC (and per static branch, how often it
+ * mispredicts). Each entry carries TWO saturating counters of
+ * different widths realising a strict and a permissive criticality
+ * threshold; at runtime CDF measures the fraction of instructions
+ * marked critical and switches to the permissive counters when too
+ * few are marked (Section 3.2, "two sets of behaviors").
+ */
+
+#ifndef CDFSIM_CDF_CRITICAL_TABLE_HH
+#define CDFSIM_CDF_CRITICAL_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace cdfsim::cdf
+{
+
+/** Configuration for one Critical Count Table. */
+struct CriticalTableConfig
+{
+    unsigned entries = 64;
+    unsigned ways = 2;
+    unsigned strictBits = 4;        //!< strict counter width
+    unsigned strictThreshold = 12;  //!< counter >= this -> critical
+    unsigned permissiveBits = 2;
+    unsigned permissiveThreshold = 2;
+    unsigned missInc = 2;           //!< bump on an LLC miss/mispredict
+    unsigned hitDec = 1;            //!< decay on a hit/correct pred.
+};
+
+/** Which threshold set the predictor is currently using. */
+enum class ThresholdMode : std::uint8_t { Strict, Permissive };
+
+/**
+ * One Critical Count Table (used twice: once for loads keyed on LLC
+ * misses, once for branches keyed on mispredictions).
+ */
+class CriticalCountTable
+{
+  public:
+    CriticalCountTable(const CriticalTableConfig &config,
+                       StatRegistry &stats, const std::string &name);
+
+    /**
+     * Retire-time training: the load at @p pc missed (or the branch
+     * mispredicted) when @p negative is true.
+     */
+    void update(Addr pc, bool negativeEvent);
+
+    /**
+     * Is the instruction at @p pc predicted critical under the
+     * current threshold mode? Pure lookup; no allocation.
+     */
+    bool isCritical(Addr pc) const;
+
+    /** As isCritical() but forcing a threshold mode (for the walk). */
+    bool isCriticalUnder(Addr pc, ThresholdMode mode) const;
+
+    ThresholdMode mode() const { return mode_; }
+    void setMode(ThresholdMode mode) { mode_ = mode; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr tag = 0;
+        SatCounter strict{4};
+        SatCounter permissive{2};
+        std::uint64_t lruTick = 0;
+    };
+
+    std::size_t setOf(Addr pc) const { return pc % sets_; }
+    const Entry *find(Addr pc) const;
+    Entry &findOrAllocate(Addr pc);
+
+    CriticalTableConfig config_;
+    std::size_t sets_;
+    std::vector<Entry> entries_;
+    std::uint64_t tick_ = 0;
+    ThresholdMode mode_ = ThresholdMode::Strict;
+
+    std::uint64_t &updates_;
+    std::uint64_t &allocations_;
+};
+
+} // namespace cdfsim::cdf
+
+#endif // CDFSIM_CDF_CRITICAL_TABLE_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Mask Cache (paper Section 3.2).
+ *
+ * Stores, per basic block, a 64-bit mask with a 1 for every uop that
+ * has been marked critical on ANY previously observed control-flow
+ * path through that block. Masks are read out when the block is next
+ * inserted into the Fill Buffer (pre-marking), accumulate across
+ * paths, and are periodically reset so stale paths age out.
+ */
+
+#ifndef CDFSIM_CDF_MASK_CACHE_HH
+#define CDFSIM_CDF_MASK_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace cdfsim::cdf
+{
+
+/** Mask cache configuration (Table 1: 4KB, 4-way, 1-cycle). */
+struct MaskCacheConfig
+{
+    unsigned entries = 512;
+    unsigned ways = 4;
+    std::uint64_t resetIntervalInstrs = 200000;
+};
+
+/** Per-basic-block critical-uop masks. */
+class MaskCache
+{
+  public:
+    MaskCache(const MaskCacheConfig &config, StatRegistry &stats);
+
+    /** Mask for the basic block starting at @p pc, if cached. */
+    std::optional<std::uint64_t> lookup(Addr pc) const;
+
+    /** OR @p mask into the entry for @p pc, allocating if needed. */
+    void merge(Addr pc, std::uint64_t mask);
+
+    /** Remove the entry for @p pc (density guard, Section 3.2). */
+    void remove(Addr pc);
+
+    /**
+     * Called with the retire-instruction counter; clears the cache
+     * each time the reset interval elapses.
+     */
+    void maybeReset(std::uint64_t retiredInstrs);
+
+    /** Unconditional clear. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr tag = 0;
+        std::uint64_t mask = 0;
+        std::uint64_t lruTick = 0;
+    };
+
+    std::size_t setOf(Addr pc) const { return pc % sets_; }
+
+    MaskCacheConfig config_;
+    std::size_t sets_;
+    std::vector<Entry> entries_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t lastReset_ = 0;
+
+    std::uint64_t &merges_;
+    std::uint64_t &hits_;
+    std::uint64_t &resets_;
+};
+
+} // namespace cdfsim::cdf
+
+#endif // CDFSIM_CDF_MASK_CACHE_HH

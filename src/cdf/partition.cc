@@ -1,0 +1,85 @@
+#include "cdf/partition.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cdfsim::cdf
+{
+
+SectionPartition::SectionPartition(const std::string &name,
+                                   unsigned totalEntries, unsigned step,
+                                   unsigned minSection,
+                                   unsigned stallThreshold, bool dynamic,
+                                   double initialCriticalFrac,
+                                   StatRegistry &stats)
+    : total_(totalEntries),
+      step_(step),
+      minSection_(minSection),
+      stallThreshold_(stallThreshold),
+      dynamic_(dynamic),
+      grows_(stats.counter(name + ".partition_grows")),
+      shrinks_(stats.counter(name + ".partition_shrinks"))
+{
+    SIM_ASSERT(totalEntries > 2 * minSection_,
+               "structure too small to partition");
+    initialCritCap_ = std::clamp<unsigned>(
+        static_cast<unsigned>(totalEntries * initialCriticalFrac),
+        minSection_, totalEntries - minSection_);
+    critCap_ = initialCritCap_;
+}
+
+void
+SectionPartition::noteStall(bool criticalSection)
+{
+    if (criticalSection)
+        ++critStalls_;
+    else
+        ++nonCritStalls_;
+}
+
+void
+SectionPartition::evaluate(unsigned critOcc, unsigned nonCritOcc)
+{
+    if (!dynamic_)
+        return;
+
+    if (critStalls_ >= nonCritStalls_ + stallThreshold_) {
+        // Grow the critical section; the slot is taken from the
+        // non-critical side only once it has drained.
+        const unsigned room = total_ - minSection_ - critCap_;
+        unsigned grow = std::min(step_, room);
+        const unsigned nonCritCap = total_ - critCap_;
+        if (nonCritCap - grow < nonCritOcc) {
+            grow = nonCritCap > nonCritOcc ? nonCritCap - nonCritOcc : 0;
+        }
+        if (grow > 0) {
+            critCap_ += grow;
+            ++grows_;
+        }
+        critStalls_ = 0;
+        nonCritStalls_ = 0;
+    } else if (nonCritStalls_ >= critStalls_ + stallThreshold_) {
+        const unsigned room = critCap_ - minSection_;
+        unsigned shrink = std::min(step_, room);
+        if (critCap_ - shrink < critOcc) {
+            shrink = critCap_ > critOcc ? critCap_ - critOcc : 0;
+        }
+        if (shrink > 0) {
+            critCap_ -= shrink;
+            ++shrinks_;
+        }
+        critStalls_ = 0;
+        nonCritStalls_ = 0;
+    }
+}
+
+void
+SectionPartition::reset()
+{
+    critCap_ = initialCritCap_;
+    critStalls_ = 0;
+    nonCritStalls_ = 0;
+}
+
+} // namespace cdfsim::cdf

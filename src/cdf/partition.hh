@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Dynamic partitioning of backend window resources between the
+ * critical and non-critical sections (paper Section 3.5).
+ *
+ * Counters measure full-window-stall cycles attributable to each
+ * section of each structure; when one section's stall count exceeds
+ * the other's by a threshold (4 cycles in the paper), that section
+ * grows by a step (8 entries for ROB/RS, 2 for LQ/SQ) at the
+ * other's expense. A shrink never cuts below current occupancy,
+ * modelling the paper's wait-for-the-slot-to-drain mechanism.
+ */
+
+#ifndef CDFSIM_CDF_PARTITION_HH
+#define CDFSIM_CDF_PARTITION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace cdfsim::cdf
+{
+
+/** Partitioning policy knobs. */
+struct PartitionConfig
+{
+    bool dynamic = true;          //!< ablation: freeze the split
+    unsigned stallThreshold = 4;  //!< stall-cycle lead needed to grow
+    unsigned robStep = 8;
+    unsigned lsqStep = 2;
+    unsigned minSection = 8;      //!< floor for either section (ROB)
+    unsigned minLsqSection = 4;   //!< floor for either section (LQ/SQ)
+    double initialCriticalFrac = 0.75;
+};
+
+/** One partitioned structure (ROB, LQ or SQ). */
+class SectionPartition
+{
+  public:
+    SectionPartition(const std::string &name, unsigned totalEntries,
+                     unsigned step, unsigned minSection,
+                     unsigned stallThreshold, bool dynamic,
+                     double initialCriticalFrac, StatRegistry &stats);
+
+    unsigned criticalCap() const { return critCap_; }
+    unsigned nonCriticalCap() const { return total_ - critCap_; }
+    unsigned total() const { return total_; }
+
+    /** Record one stall cycle charged to a section being full. */
+    void noteStall(bool criticalSection);
+
+    /**
+     * Evaluate the counters and resize if warranted. @p critOcc and
+     * @p nonCritOcc are current occupancies; shrinks clamp to them.
+     */
+    void evaluate(unsigned critOcc, unsigned nonCritOcc);
+
+    /** Reset to the initial split (on CDF episode boundaries). */
+    void reset();
+
+  private:
+    unsigned total_;
+    unsigned step_;
+    unsigned minSection_;
+    unsigned stallThreshold_;
+    bool dynamic_;
+    unsigned initialCritCap_;
+    unsigned critCap_;
+    std::uint64_t critStalls_ = 0;
+    std::uint64_t nonCritStalls_ = 0;
+
+    std::uint64_t &grows_;
+    std::uint64_t &shrinks_;
+};
+
+} // namespace cdfsim::cdf
+
+#endif // CDFSIM_CDF_PARTITION_HH

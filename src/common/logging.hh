@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal simulator bug; aborts.
+ * fatal()  — a user/configuration error; exits with status 1.
+ * warn()   — something suspicious but survivable.
+ * inform() — status output.
+ */
+
+#ifndef CDFSIM_COMMON_LOGGING_HH
+#define CDFSIM_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cdfsim
+{
+
+/** Thrown by panic() so tests can assert on simulator invariants. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal() for user-level configuration errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail
+{
+
+inline void
+appendAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendAll(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    appendAll(os, rest...);
+}
+
+} // namespace detail
+
+/**
+ * Report an internal simulator invariant violation. Never returns.
+ * Throws PanicError so unit tests can exercise failure paths without
+ * killing the test process.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    os << "panic: ";
+    detail::appendAll(os, args...);
+    throw PanicError(os.str());
+}
+
+/** Report an unrecoverable user error (bad config etc.). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    os << "fatal: ";
+    detail::appendAll(os, args...);
+    throw FatalError(os.str());
+}
+
+/** Non-fatal warning to stderr. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::ostringstream os;
+    detail::appendAll(os, args...);
+    std::fprintf(stderr, "warn: %s\n", os.str().c_str());
+}
+
+/** Informational message to stdout. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::ostringstream os;
+    detail::appendAll(os, args...);
+    std::fprintf(stdout, "info: %s\n", os.str().c_str());
+}
+
+/**
+ * Simulator-grade assertion: active in all build types (unlike
+ * assert), and reports through panic() so it is testable.
+ */
+#define SIM_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::cdfsim::panic("assertion '", #cond, "' failed at ",           \
+                            __FILE__, ":", __LINE__, " ", ##__VA_ARGS__);   \
+        }                                                                   \
+    } while (0)
+
+} // namespace cdfsim
+
+#endif // CDFSIM_COMMON_LOGGING_HH

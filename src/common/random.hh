@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xorshift128+).
+ *
+ * Every stochastic element of the simulator (workload data layouts,
+ * random program generation in property tests) draws from this so
+ * that runs are reproducible bit-for-bit from a seed.
+ */
+
+#ifndef CDFSIM_COMMON_RANDOM_HH
+#define CDFSIM_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace cdfsim
+{
+
+/** Small, fast, seedable PRNG. Not cryptographic; purely for sim. */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        // SplitMix64 seeding to avoid weak all-zero-ish states.
+        std::uint64_t z = seed + 0x9E3779B97F4A7C15ull;
+        for (auto *s : {&s0_, &s1_}) {
+            z += 0x9E3779B97F4A7C15ull;
+            std::uint64_t x = z;
+            x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+            x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+            *s = x ^ (x >> 31);
+        }
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** Uniform 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        SIM_ASSERT(bound > 0, "Random::below(0)");
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        SIM_ASSERT(lo <= hi, "Random::between bounds inverted");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw: true with probability @p percent / 100. */
+    bool
+    chancePercent(unsigned percent)
+    {
+        return below(100) < percent;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+} // namespace cdfsim
+
+#endif // CDFSIM_COMMON_RANDOM_HH

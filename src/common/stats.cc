@@ -1,0 +1,37 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+namespace cdfsim
+{
+
+std::vector<std::pair<std::string, std::uint64_t>>
+StatRegistry::withPrefix(const std::string &prefix) const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    for (auto it = counters_.lower_bound(prefix); it != counters_.end();
+         ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        out.emplace_back(it->first, it->second);
+    }
+    return out;
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &kv : counters_)
+        kv.second = 0;
+}
+
+std::string
+StatRegistry::dump() const
+{
+    std::ostringstream os;
+    for (const auto &kv : counters_)
+        os << kv.first << " = " << kv.second << "\n";
+    return os.str();
+}
+
+} // namespace cdfsim

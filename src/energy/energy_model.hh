@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Activity-based energy and area model (the CACTI + McPAT
+ * substitute).
+ *
+ * Every hardware structure is described by an area and a per-access
+ * energy derived from its capacity with CACTI-like scaling
+ * (area linear in bits, access energy growing with the square root
+ * of capacity), plus leakage proportional to area. Dynamic energy is
+ * per-structure access counts — taken from the StatRegistry the
+ * timing model already populates — times per-access energy.
+ *
+ * Absolute joules are not meaningful; the model is calibrated so
+ * the RELATIVE results the paper reports hold: the added CDF
+ * structures cost ~2% of baseline energy and ~3.2% of core area
+ * (Section 4.3), and PRE's duplicate execution plus extra DRAM
+ * traffic make it a net energy loss.
+ */
+
+#ifndef CDFSIM_ENERGY_ENERGY_MODEL_HH
+#define CDFSIM_ENERGY_ENERGY_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "ooo/core_config.hh"
+
+namespace cdfsim::energy
+{
+
+/** One modelled hardware structure. */
+struct Component
+{
+    std::string name;
+    double areaMm2 = 0.0;
+    double accessEnergyPj = 0.0;
+    double accesses = 0.0;
+    double dynamicUj = 0.0;   //!< filled by evaluate()
+};
+
+/** Full energy/area report. */
+struct EnergyReport
+{
+    std::vector<Component> components;
+    double coreAreaMm2 = 0.0;       //!< baseline core structures
+    double extraAreaMm2 = 0.0;      //!< CDF/PRE additions
+    double dynamicUj = 0.0;
+    double staticUj = 0.0;
+    double dramUj = 0.0;
+    double totalUj = 0.0;
+
+    double areaMm2() const { return coreAreaMm2 + extraAreaMm2; }
+};
+
+/** The model. */
+class Model
+{
+  public:
+    /**
+     * Evaluate energy for a finished run.
+     * @param config The core configuration that produced the run
+     *        (structure sizes feed the area/energy scaling).
+     * @param stats The populated stat registry.
+     * @param cycles Measured cycles (for leakage).
+     */
+    static EnergyReport evaluate(const ooo::CoreConfig &config,
+                                 const StatRegistry &stats,
+                                 std::uint64_t cycles);
+
+    /** Area of the baseline core scaled per the Fig. 17 study. */
+    static double coreArea(const ooo::CoreConfig &config);
+
+    /** Area of the CDF additions (Table 1 structures). */
+    static double cdfArea(const ooo::CoreConfig &config);
+};
+
+} // namespace cdfsim::energy
+
+#endif // CDFSIM_ENERGY_ENERGY_MODEL_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Sparse paged data memory for the functional model.
+ *
+ * Stores 64-bit words keyed by 8-byte-aligned addresses, organized in
+ * 4KB pages so that workloads touching hundreds of megabytes of
+ * address space stay cheap. Unwritten memory reads as zero.
+ */
+
+#ifndef CDFSIM_ISA_MEMORY_IMAGE_HH
+#define CDFSIM_ISA_MEMORY_IMAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace cdfsim::isa
+{
+
+/** Flat 64-bit word-addressable sparse memory. */
+class MemoryImage
+{
+  public:
+    static constexpr Addr kPageBytes = 4096;
+    static constexpr Addr kPageWords = kPageBytes / 8;
+
+    /** Read the 64-bit word containing @p addr (aligned down). */
+    std::uint64_t
+    read(Addr addr) const
+    {
+        const Addr w = addr >> 3;
+        auto it = pages_.find(w / kPageWords);
+        if (it == pages_.end())
+            return 0;
+        return (*it->second)[w % kPageWords];
+    }
+
+    /** Write the 64-bit word containing @p addr (aligned down). */
+    void
+    write(Addr addr, std::uint64_t value)
+    {
+        const Addr w = addr >> 3;
+        auto &page = pages_[w / kPageWords];
+        if (!page)
+            page = std::make_unique<Page>();
+        (*page)[w % kPageWords] = value;
+    }
+
+    /** Number of resident 4KB pages (for tests / footprint stats). */
+    std::size_t residentPages() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<std::uint64_t, kPageWords>;
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace cdfsim::isa
+
+#endif // CDFSIM_ISA_MEMORY_IMAGE_HH

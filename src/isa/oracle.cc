@@ -1,0 +1,107 @@
+#include "isa/oracle.hh"
+
+#include "common/logging.hh"
+
+namespace cdfsim::isa
+{
+
+OracleStream::OracleStream(const Program &program, MemoryImage &memory)
+    : interp_(program, memory)
+{
+}
+
+void
+OracleStream::materializeTo(SeqNum seq)
+{
+    while (frontier() <= seq) {
+        SIM_ASSERT(!sawHalt_, "oracle read past Halt (seq ", seq, ")");
+        ExecRecord r = interp_.step();
+        if (r.halt) {
+            sawHalt_ = true;
+            haltSeq_ = r.seq;
+        }
+        window_.push_back(std::move(r));
+    }
+}
+
+const ExecRecord &
+OracleStream::at(SeqNum seq)
+{
+    SIM_ASSERT(seq >= base_, "oracle record ", seq,
+               " already released (base ", base_, ")");
+    materializeTo(seq);
+    return window_[seq - base_];
+}
+
+bool
+OracleStream::hasRecord(SeqNum seq)
+{
+    if (seq < frontier())
+        return true;
+    if (sawHalt_)
+        return false;
+    // Materialize up to the requested index or the halt, whichever
+    // comes first.
+    while (frontier() <= seq && !sawHalt_) {
+        ExecRecord r = interp_.step();
+        if (r.halt) {
+            sawHalt_ = true;
+            haltSeq_ = r.seq;
+        }
+        window_.push_back(std::move(r));
+    }
+    return seq < frontier();
+}
+
+void
+OracleStream::releaseBelow(SeqNum seq)
+{
+    while (base_ < seq && !window_.empty()) {
+        window_.pop_front();
+        ++base_;
+    }
+}
+
+WrongPathWalker::WrongPathWalker(const Program &program,
+                                 const MemoryImage &memory)
+    : program_(program), memory_(memory)
+{
+}
+
+void
+WrongPathWalker::restart(const RegFile &regs)
+{
+    regs_ = regs;
+    storeBuf_.clear();
+    active_ = true;
+}
+
+ExecRecord
+WrongPathWalker::execute(Addr pc)
+{
+    SIM_ASSERT(active_, "wrong-path walker used while inactive");
+    SIM_ASSERT(program_.validPc(pc), "wrong-path PC out of range");
+
+    const Uop &uop = program_.at(pc);
+    const std::uint64_t s1 =
+        uop.src1 == kInvalidReg ? 0 : regs_[uop.src1];
+    const std::uint64_t s2 =
+        uop.src2 == kInvalidReg ? 0 : regs_[uop.src2];
+
+    ExecRecord r = Interpreter::evaluate(
+        pc, uop, s1, s2,
+        [this](Addr a) -> std::uint64_t {
+            auto it = storeBuf_.find(a >> 3);
+            if (it != storeBuf_.end())
+                return it->second;
+            return memory_.read(a);
+        },
+        [this](Addr a, std::uint64_t v) { storeBuf_[a >> 3] = v; });
+
+    if (uop.writesReg())
+        regs_[uop.dst] = r.result;
+    r.seq = kInvalidSeq; // wrong-path records have no program order
+    return r;
+}
+
+} // namespace cdfsim::isa

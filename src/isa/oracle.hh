@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The functional oracle the execution-driven timing model fetches
+ * from, plus the wrong-path walker.
+ *
+ * OracleStream lazily materializes the correct-path dynamic uop
+ * stream; the stream index is the program-order timestamp the paper
+ * assigns to uops. WrongPathWalker functionally executes down a
+ * mispredicted path from a register snapshot taken at the divergence
+ * point so wrong-path loads carry realistic addresses — required to
+ * reproduce the paper's wrong-path MLP and memory-traffic results
+ * (Figs. 14 and 15).
+ */
+
+#ifndef CDFSIM_ISA_ORACLE_HH
+#define CDFSIM_ISA_ORACLE_HH
+
+#include <deque>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "isa/interpreter.hh"
+
+namespace cdfsim::isa
+{
+
+/**
+ * Indexed window over the correct-path dynamic instruction stream.
+ *
+ * Records are materialized on demand by running the functional
+ * interpreter, kept in a sliding window, and discharged once the
+ * timing model has retired them.
+ */
+class OracleStream
+{
+  public:
+    OracleStream(const Program &program, MemoryImage &memory);
+
+    /**
+     * The record with dynamic index @p seq. Extends the stream as
+     * needed. @p seq must be >= the current window base (i.e., not
+     * yet released) and must not be past the Halt record.
+     */
+    const ExecRecord &at(SeqNum seq);
+
+    /** True when record @p seq exists (program has not halted before). */
+    bool hasRecord(SeqNum seq);
+
+    /** Dynamic index one past the newest materialized record. */
+    SeqNum frontier() const { return base_ + window_.size(); }
+
+    /** Oldest retained record index. */
+    SeqNum base() const { return base_; }
+
+    /** Release records with seq < @p seq (they retired). */
+    void releaseBelow(SeqNum seq);
+
+    /**
+     * Register state after executing record frontier()-1 — i.e., the
+     * state a wrong-path walker must start from when the newest
+     * fetched instruction caused the divergence.
+     */
+    const RegFile &frontierRegs() const { return interp_.regs(); }
+
+    /** True once the Halt record has been materialized. */
+    bool sawHalt() const { return sawHalt_; }
+
+    /** Sequence number of the Halt record; only valid after sawHalt(). */
+    SeqNum haltSeq() const { return haltSeq_; }
+
+    const Program &program() const { return interp_.program(); }
+    MemoryImage &memory() { return interp_.memory(); }
+
+  private:
+    void materializeTo(SeqNum seq);
+
+    Interpreter interp_;
+    std::deque<ExecRecord> window_;
+    SeqNum base_ = 0;
+    bool sawHalt_ = false;
+    SeqNum haltSeq_ = kInvalidSeq;
+};
+
+/**
+ * Functional execution down a mispredicted path.
+ *
+ * Seeded with the architectural registers at the divergence point.
+ * Loads read the (current) program memory with forwarding from a
+ * private store buffer; stores never reach program memory. The
+ * walker has no PC of its own: the fetch stage drives it one uop at
+ * a time and picks the next wrong-path PC from the branch predictor,
+ * exactly like a real frontend.
+ */
+class WrongPathWalker
+{
+  public:
+    WrongPathWalker(const Program &program, const MemoryImage &memory);
+
+    /** (Re)start a wrong path from the given register snapshot. */
+    void restart(const RegFile &regs);
+
+    /**
+     * Functionally execute the uop at @p pc against the shadow
+     * state. Returns the record; the caller decides which PC to
+     * fetch next.
+     */
+    ExecRecord execute(Addr pc);
+
+    bool active() const { return active_; }
+    void deactivate() { active_ = false; }
+
+  private:
+    const Program &program_;
+    const MemoryImage &memory_;
+    RegFile regs_{};
+    std::unordered_map<Addr, std::uint64_t> storeBuf_;
+    bool active_ = false;
+};
+
+} // namespace cdfsim::isa
+
+#endif // CDFSIM_ISA_ORACLE_HH

@@ -1,0 +1,163 @@
+#include "isa/program.hh"
+
+#include "common/logging.hh"
+
+namespace cdfsim::isa
+{
+
+namespace
+{
+
+constexpr Addr kUnbound = static_cast<Addr>(-1);
+
+} // namespace
+
+ProgramBuilder::ProgramBuilder(std::string name) : name_(std::move(name))
+{
+}
+
+ProgramBuilder::Label
+ProgramBuilder::makeLabel()
+{
+    labelAddrs_.push_back(kUnbound);
+    return labelAddrs_.size() - 1;
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    SIM_ASSERT(label < labelAddrs_.size(), "unknown label");
+    SIM_ASSERT(labelAddrs_[label] == kUnbound, "label bound twice");
+    labelAddrs_[label] = code_.size();
+}
+
+ProgramBuilder &
+ProgramBuilder::emit(Uop uop)
+{
+    code_.push_back(uop);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::emitLabelled(Uop uop, Label target)
+{
+    SIM_ASSERT(target < labelAddrs_.size(), "unknown label");
+    fixups_.emplace_back(code_.size(), target);
+    code_.push_back(uop);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::nop()
+{
+    return emit({Opcode::Nop, kInvalidReg, kInvalidReg, kInvalidReg, 0});
+}
+
+#define CDFSIM_THREE_ADDR(fn, opc)                                         \
+    ProgramBuilder &ProgramBuilder::fn(RegId d, RegId s1, RegId s2)        \
+    {                                                                      \
+        return emit({Opcode::opc, d, s1, s2, 0});                          \
+    }
+
+CDFSIM_THREE_ADDR(add, Add)
+CDFSIM_THREE_ADDR(sub, Sub)
+CDFSIM_THREE_ADDR(mul, Mul)
+CDFSIM_THREE_ADDR(div, Div)
+CDFSIM_THREE_ADDR(and_, And)
+CDFSIM_THREE_ADDR(or_, Or)
+CDFSIM_THREE_ADDR(xor_, Xor)
+CDFSIM_THREE_ADDR(shl, Shl)
+CDFSIM_THREE_ADDR(shr, Shr)
+CDFSIM_THREE_ADDR(cmplt, CmpLt)
+CDFSIM_THREE_ADDR(cmpeq, CmpEq)
+CDFSIM_THREE_ADDR(fadd, FAdd)
+CDFSIM_THREE_ADDR(fmul, FMul)
+CDFSIM_THREE_ADDR(fdiv, FDiv)
+
+#undef CDFSIM_THREE_ADDR
+
+ProgramBuilder &
+ProgramBuilder::mov(RegId d, RegId s)
+{
+    return emit({Opcode::Mov, d, s, kInvalidReg, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::movi(RegId d, std::int64_t imm)
+{
+    return emit({Opcode::MovImm, d, kInvalidReg, kInvalidReg, imm});
+}
+
+ProgramBuilder &
+ProgramBuilder::addi(RegId d, RegId s, std::int64_t imm)
+{
+    return emit({Opcode::AddImm, d, s, kInvalidReg, imm});
+}
+
+ProgramBuilder &
+ProgramBuilder::load(RegId d, RegId base, std::int64_t off)
+{
+    return emit({Opcode::Load, d, base, kInvalidReg, off});
+}
+
+ProgramBuilder &
+ProgramBuilder::store(RegId base, std::int64_t off, RegId value)
+{
+    return emit({Opcode::Store, kInvalidReg, base, value, off});
+}
+
+ProgramBuilder &
+ProgramBuilder::beqz(RegId s, Label target)
+{
+    return emitLabelled({Opcode::Beqz, kInvalidReg, s, kInvalidReg, 0},
+                        target);
+}
+
+ProgramBuilder &
+ProgramBuilder::bnez(RegId s, Label target)
+{
+    return emitLabelled({Opcode::Bnez, kInvalidReg, s, kInvalidReg, 0},
+                        target);
+}
+
+ProgramBuilder &
+ProgramBuilder::jmp(Label target)
+{
+    return emitLabelled(
+        {Opcode::Jmp, kInvalidReg, kInvalidReg, kInvalidReg, 0}, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::call(RegId link, Label target)
+{
+    return emitLabelled({Opcode::Call, link, kInvalidReg, kInvalidReg, 0},
+                        target);
+}
+
+ProgramBuilder &
+ProgramBuilder::ret(RegId s)
+{
+    return emit({Opcode::Ret, kInvalidReg, s, kInvalidReg, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::halt()
+{
+    return emit({Opcode::Halt, kInvalidReg, kInvalidReg, kInvalidReg, 0});
+}
+
+Program
+ProgramBuilder::build()
+{
+    for (const auto &[idx, label] : fixups_) {
+        SIM_ASSERT(labelAddrs_[label] != kUnbound,
+                   "unbound label in program '", name_, "'");
+        code_[idx].imm = static_cast<std::int64_t>(labelAddrs_[label]);
+    }
+    Program p;
+    p.name = name_;
+    p.code = std::move(code_);
+    return p;
+}
+
+} // namespace cdfsim::isa

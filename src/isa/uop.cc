@@ -1,0 +1,111 @@
+#include "isa/uop.hh"
+
+#include <sstream>
+
+namespace cdfsim::isa
+{
+
+unsigned
+executeLatency(Opcode op)
+{
+    switch (op) {
+      case Opcode::Mul:
+        return 3;
+      case Opcode::Div:
+        return 12;
+      case Opcode::FAdd:
+        return 3;
+      case Opcode::FMul:
+        return 4;
+      case Opcode::FDiv:
+        return 12;
+      default:
+        return 1;
+    }
+}
+
+std::string
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::CmpLt: return "cmplt";
+      case Opcode::CmpEq: return "cmpeq";
+      case Opcode::Mov: return "mov";
+      case Opcode::MovImm: return "movi";
+      case Opcode::AddImm: return "addi";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FDiv: return "fdiv";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Beqz: return "beqz";
+      case Opcode::Bnez: return "bnez";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Call: return "call";
+      case Opcode::Ret: return "ret";
+      case Opcode::Halt: return "halt";
+    }
+    return "?";
+}
+
+std::string
+toString(const Uop &uop)
+{
+    std::ostringstream os;
+    os << opcodeName(uop.op);
+    auto reg = [](RegId r) {
+        return r == kInvalidReg ? std::string("-")
+                                : "r" + std::to_string(r);
+    };
+    switch (uop.op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+        break;
+      case Opcode::MovImm:
+        os << " " << reg(uop.dst) << ", #" << uop.imm;
+        break;
+      case Opcode::AddImm:
+        os << " " << reg(uop.dst) << ", " << reg(uop.src1) << ", #"
+           << uop.imm;
+        break;
+      case Opcode::Mov:
+        os << " " << reg(uop.dst) << ", " << reg(uop.src1);
+        break;
+      case Opcode::Load:
+        os << " " << reg(uop.dst) << ", [" << reg(uop.src1) << "+"
+           << uop.imm << "]";
+        break;
+      case Opcode::Store:
+        os << " [" << reg(uop.src1) << "+" << uop.imm << "], "
+           << reg(uop.src2);
+        break;
+      case Opcode::Beqz:
+      case Opcode::Bnez:
+        os << " " << reg(uop.src1) << ", @" << uop.imm;
+        break;
+      case Opcode::Jmp:
+      case Opcode::Call:
+        os << " @" << uop.imm;
+        break;
+      case Opcode::Ret:
+        os << " " << reg(uop.src1);
+        break;
+      default:
+        os << " " << reg(uop.dst) << ", " << reg(uop.src1) << ", "
+           << reg(uop.src2);
+        break;
+    }
+    return os.str();
+}
+
+} // namespace cdfsim::isa

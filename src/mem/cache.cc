@@ -1,0 +1,112 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cdfsim::mem
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config, StatRegistry &stats)
+    : size_(config.sizeBytes),
+      ways_(config.ways),
+      latency_(config.latency),
+      sets_(config.sizeBytes / (kLineBytes * config.ways)),
+      mshrCap_(config.mshrs),
+      accesses_(stats.counter(config.name + ".accesses")),
+      hits_(stats.counter(config.name + ".hits")),
+      misses_(stats.counter(config.name + ".misses")),
+      writebacks_(stats.counter(config.name + ".writebacks")),
+      mshrStalls_(stats.counter(config.name + ".mshr_stalls")),
+      prefIssued_(stats.counter(config.name + ".pref_fills")),
+      prefUseful_(stats.counter(config.name + ".pref_useful")),
+      prefUnused_(stats.counter(config.name + ".pref_evicted_unused"))
+{
+    if (sets_ == 0 || !isPow2(sets_))
+        fatal("cache '", config.name, "': set count ", sets_,
+              " must be a nonzero power of two");
+    if (mshrCap_ == 0)
+        fatal("cache '", config.name, "' needs at least one MSHR");
+    tags_.resize(sets_ * ways_);
+}
+
+Cache::Way *
+Cache::findLine(Addr line)
+{
+    Way *base = &tags_[setIndex(line) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].lineAddr == line)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Way *
+Cache::findLine(Addr line) const
+{
+    const Way *base = &tags_[setIndex(line) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].lineAddr == line)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+Cache::Way &
+Cache::selectVictim(Addr line)
+{
+    Way *base = &tags_[setIndex(line) * ways_];
+    Way *victim = &base[0];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!base[w].valid)
+            return base[w];
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    return *victim;
+}
+
+void
+Cache::touch(Way &way)
+{
+    way.lru = ++lruClock_;
+}
+
+void
+Cache::pruneMshrs(Cycle now)
+{
+    std::erase_if(mshrsInFlight_, [now](Cycle c) { return c <= now; });
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return findLine(lineAlign(addr)) != nullptr;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    if (Way *way = findLine(lineAlign(addr)))
+        way->valid = false;
+}
+
+void
+Cache::markDirty(Addr addr)
+{
+    if (Way *way = findLine(lineAlign(addr)))
+        way->dirty = true;
+}
+
+} // namespace cdfsim::mem

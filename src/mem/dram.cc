@@ -1,0 +1,101 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cdfsim::mem
+{
+
+DramModel::DramModel(const DramConfig &config, StatRegistry &stats,
+                     const std::string &name)
+    : config_(config),
+      reads_(stats.counter(name + ".reads")),
+      writes_(stats.counter(name + ".writes")),
+      rowHits_(stats.counter(name + ".row_hits")),
+      rowMisses_(stats.counter(name + ".row_misses")),
+      rowConflicts_(stats.counter(name + ".row_conflicts")),
+      bytesRead_(stats.counter(name + ".bytes_read")),
+      bytesWritten_(stats.counter(name + ".bytes_written"))
+{
+    if (config_.channels == 0 || config_.bankGroups == 0 ||
+        config_.banksPerGroup == 0) {
+        fatal("dram: zero-sized geometry");
+    }
+    channels_.resize(config_.channels);
+    const unsigned banks = config_.bankGroups * config_.banksPerGroup;
+    for (auto &ch : channels_)
+        ch.banks.resize(banks);
+}
+
+unsigned
+DramModel::channelOf(Addr line) const
+{
+    // Interleave consecutive lines across channels.
+    return (line / kLineBytes) % config_.channels;
+}
+
+unsigned
+DramModel::bankOf(Addr line) const
+{
+    const unsigned banks = config_.bankGroups * config_.banksPerGroup;
+    return (line / kLineBytes / config_.channels) % banks;
+}
+
+Addr
+DramModel::rowOf(Addr line) const
+{
+    const unsigned banks = config_.bankGroups * config_.banksPerGroup;
+    const Addr linesPerRow = config_.rowBytes / kLineBytes;
+    return line / kLineBytes / config_.channels / banks / linesPerRow;
+}
+
+DramAccessOutcome
+DramModel::access(Addr lineAddr, bool isWrite, Cycle now)
+{
+    const Addr line = lineAlign(lineAddr);
+    Channel &ch = channels_[channelOf(line)];
+    Bank &bank = ch.banks[bankOf(line)];
+    const Addr row = rowOf(line);
+
+    DramAccessOutcome out;
+
+    Cycle start = now + config_.controllerLatency;
+    start = std::max(start, bank.busyUntil);
+
+    unsigned arrayLatency = 0;
+    if (bank.open && bank.openRow == row) {
+        arrayLatency = config_.tCl;
+        out.rowHit = true;
+        ++rowHits_;
+    } else if (!bank.open) {
+        arrayLatency = config_.tRcd + config_.tCl;
+        ++rowMisses_;
+    } else {
+        arrayLatency = config_.tRp + config_.tRcd + config_.tCl;
+        out.rowConflict = true;
+        ++rowConflicts_;
+    }
+
+    Cycle dataStart = start + arrayLatency;
+    dataStart = std::max(dataStart, ch.busUntil);
+    const Cycle done = dataStart + config_.tBurst;
+
+    bank.open = true;
+    bank.openRow = row;
+    bank.busyUntil = done;
+    ch.busUntil = done;
+
+    if (isWrite) {
+        ++writes_;
+        bytesWritten_ += kLineBytes;
+    } else {
+        ++reads_;
+        bytesRead_ += kLineBytes;
+    }
+
+    out.ready = done;
+    return out;
+}
+
+} // namespace cdfsim::mem

@@ -1,0 +1,173 @@
+#include "mem/hierarchy.hh"
+
+#include "common/logging.hh"
+
+namespace cdfsim::mem
+{
+
+MemHierarchy::MemHierarchy(const HierarchyConfig &config,
+                           StatRegistry &stats)
+    : config_(config),
+      stats_(stats),
+      l1i_(config.l1i, stats),
+      l1d_(config.l1d, stats),
+      llc_(config.llc, stats),
+      dram_(config.dram, stats),
+      prefetcher_(config.prefetcher, stats),
+      dramDemandReads_(stats.counter("dram.demand_reads")),
+      dramPrefetchReads_(stats.counter("dram.prefetch_reads")),
+      dramWrongPathReads_(stats.counter("dram.wrongpath_reads")),
+      dramRunaheadReads_(stats.counter("dram.runahead_reads"))
+{
+}
+
+void
+MemHierarchy::prune(std::vector<Cycle> &v, Cycle now)
+{
+    // Completion times arrive out of order across banks, so this is
+    // an unordered prune rather than a FIFO pop.
+    std::erase_if(v, [now](Cycle c) { return c <= now; });
+}
+
+Cycle
+MemHierarchy::llcThenDram(Addr line, bool isWrite, Cycle start,
+                          AccessKind kind, bool *llcHitOut)
+{
+    auto out = llc_.access(
+        line, isWrite, start,
+        [&](Cycle llc_start) {
+            auto dr = dram_.access(line, false, llc_start);
+            switch (kind) {
+              case AccessKind::DemandLoad:
+              case AccessKind::DemandStore:
+              case AccessKind::InstrFetch:
+                ++dramDemandReads_;
+                demandMissQueue_.push_back(dr.ready);
+                break;
+              case AccessKind::WrongPathLoad:
+                ++dramWrongPathReads_;
+                uselessMissQueue_.push_back(dr.ready);
+                break;
+              case AccessKind::RunaheadLoad:
+                ++dramRunaheadReads_;
+                // Runahead misses are counted as demand MLP only if
+                // they later turn out useful; the PRE controller
+                // reclassifies via its own stats. Here they appear in
+                // the demand queue so MLP reflects overlap on the bus.
+                demandMissQueue_.push_back(dr.ready);
+                break;
+            }
+            return dr.ready;
+        },
+        /*isPrefetch=*/false);
+
+    if (out.evictedDirty)
+        dram_.access(out.evictedAddr, true, out.ready);
+    if (llcHitOut)
+        *llcHitOut = out.hit;
+    return out.ready;
+}
+
+MemAccessResult
+MemHierarchy::dataAccess(Addr addr, AccessKind kind, Cycle now)
+{
+    SIM_ASSERT(kind != AccessKind::InstrFetch,
+               "instruction fetches go through instrAccess");
+
+    MemAccessResult res;
+    const bool isWrite = kind == AccessKind::DemandStore;
+    bool llcHit = false;
+    bool reachedLlc = false;
+
+    auto out = l1d_.access(
+        addr, isWrite, now,
+        [&](Cycle start) {
+            reachedLlc = true;
+            return llcThenDram(lineAlign(addr), false, start, kind,
+                               &llcHit);
+        });
+
+    if (out.evictedDirty) {
+        // Write the L1 victim back into the LLC: fill (or update)
+        // the line as dirty without a DRAM round trip.
+        auto wb = llc_.access(out.evictedAddr, true, out.ready,
+                              [&](Cycle start) { return start; });
+        if (wb.evictedDirty)
+            dram_.access(wb.evictedAddr, true, wb.ready);
+    }
+
+    res.ready = out.ready;
+    res.l1Hit = out.hit;
+    res.llcHit = reachedLlc && llcHit;
+    res.llcMiss = reachedLlc && !llcHit;
+
+    // Train the prefetcher on the post-L1 demand stream only.
+    if (config_.prefetcherEnabled && reachedLlc &&
+        kind != AccessKind::WrongPathLoad) {
+        issuePrefetches(addr, res.llcMiss, now);
+    }
+    return res;
+}
+
+void
+MemHierarchy::issuePrefetches(Addr trigger, bool wasLlcMiss, Cycle now)
+{
+    PrefetchBatch batch = prefetcher_.observe(trigger, wasLlcMiss);
+    for (unsigned i = 0; i < batch.count; ++i) {
+        const Addr line = batch.lines[i];
+        if (llc_.probe(line))
+            continue;
+        auto out = llc_.access(
+            line, false, now,
+            [&](Cycle start) {
+                auto dr = dram_.access(line, false, start);
+                ++dramPrefetchReads_;
+                return dr.ready;
+            },
+            /*isPrefetch=*/true);
+        if (out.evictedDirty)
+            dram_.access(out.evictedAddr, true, out.ready);
+    }
+
+    // Feed accuracy deltas back to the throttle.
+    const std::uint64_t useful = stats_.get("llc.pref_useful");
+    const std::uint64_t issued = stats_.get("llc.pref_fills");
+    prefetcher_.feedback(useful - lastPrefUseful_,
+                         issued - lastPrefIssued_);
+    lastPrefUseful_ = useful;
+    lastPrefIssued_ = issued;
+}
+
+Cycle
+MemHierarchy::instrAccess(Addr pc, Cycle now)
+{
+    const Addr addr = codeAddr(pc);
+    bool llcHit = false;
+    auto out = l1i_.access(addr, false, now, [&](Cycle start) {
+        return llcThenDram(lineAlign(addr), false, start,
+                           AccessKind::InstrFetch, &llcHit);
+    });
+    return out.ready;
+}
+
+bool
+MemHierarchy::wouldMissLlc(Addr addr) const
+{
+    return !l1d_.probe(addr) && !llc_.probe(addr);
+}
+
+unsigned
+MemHierarchy::outstandingDemandMisses(Cycle now)
+{
+    prune(demandMissQueue_, now);
+    return static_cast<unsigned>(demandMissQueue_.size());
+}
+
+unsigned
+MemHierarchy::outstandingUselessMisses(Cycle now)
+{
+    prune(uselessMissQueue_, now);
+    return static_cast<unsigned>(uselessMissQueue_.size());
+}
+
+} // namespace cdfsim::mem

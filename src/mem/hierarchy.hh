@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Three-level memory hierarchy facade: L1I + L1D, shared LLC, DRAM,
+ * with the stream prefetcher trained at the LLC boundary.
+ *
+ * The core (and the PRE engine) performs all memory timing through
+ * this class. Every access is tagged with an AccessKind so the
+ * hierarchy can attribute MLP and DRAM traffic to demand, prefetch,
+ * wrong-path and runahead activity — the split the paper's Figs. 14
+ * and 15 rely on.
+ */
+
+#ifndef CDFSIM_MEM_HIERARCHY_HH
+#define CDFSIM_MEM_HIERARCHY_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/prefetcher.hh"
+
+namespace cdfsim::mem
+{
+
+/** Who is asking for memory. */
+enum class AccessKind : std::uint8_t
+{
+    DemandLoad,     //!< correct-path load issued by the core
+    DemandStore,    //!< retired store committing
+    WrongPathLoad,  //!< load fetched down a mispredicted path
+    RunaheadLoad,   //!< PRE chain load (prefetch-only execution)
+    InstrFetch,     //!< frontend line fetch
+};
+
+/** Summary of one data access. */
+struct MemAccessResult
+{
+    Cycle ready = 0;
+    bool l1Hit = false;
+    bool llcHit = false;     //!< serviced at the LLC (after L1 miss)
+    bool llcMiss = false;    //!< had to go to DRAM
+};
+
+/** Hierarchy configuration (Table 1 defaults). */
+struct HierarchyConfig
+{
+    CacheConfig l1i{"l1i", 32 * 1024, 8, 2, 8};
+    CacheConfig l1d{"l1d", 32 * 1024, 8, 2, 12};
+    CacheConfig llc{"llc", 1024 * 1024, 16, 18, 24};
+    DramConfig dram{};
+    PrefetcherConfig prefetcher{};
+    bool prefetcherEnabled = true;
+};
+
+/** The memory system. */
+class MemHierarchy
+{
+  public:
+    MemHierarchy(const HierarchyConfig &config, StatRegistry &stats);
+
+    /** Non-copyable: caches hold references into the stat registry. */
+    MemHierarchy(const MemHierarchy &) = delete;
+    MemHierarchy &operator=(const MemHierarchy &) = delete;
+
+    /** Perform a data-side access (loads, stores, runahead). */
+    MemAccessResult dataAccess(Addr addr, AccessKind kind, Cycle now);
+
+    /** Fetch the instruction line holding uop index @p pc. */
+    Cycle instrAccess(Addr pc, Cycle now);
+
+    /**
+     * Probe-only: would a demand load of @p addr miss the LLC right
+     * now? Used by CDF's Critical Count Table update at retire and
+     * by the full-window-stall classifier. No state is modified.
+     */
+    bool wouldMissLlc(Addr addr) const;
+
+    /** Outstanding DRAM demand misses at @p now (for MLP sampling). */
+    unsigned outstandingDemandMisses(Cycle now);
+
+    /** Outstanding useless (wrong-path / dead-runahead) misses. */
+    unsigned outstandingUselessMisses(Cycle now);
+
+    /** DRAM bytes moved so far. */
+    std::uint64_t dramBytes() const { return dram_.totalBytes(); }
+
+    Cache &l1d() { return l1d_; }
+    Cache &llc() { return llc_; }
+    DramModel &dram() { return dram_; }
+    StreamPrefetcher &prefetcher() { return prefetcher_; }
+
+    /** Map a uop PC to a byte address in the dedicated code region. */
+    static Addr
+    codeAddr(Addr pc)
+    {
+        return kCodeBase + pc * 8;
+    }
+
+  private:
+    static constexpr Addr kCodeBase = Addr{1} << 40;
+
+    /** LLC access chained to DRAM; shared by both L1 miss paths. */
+    Cycle llcThenDram(Addr line, bool isWrite, Cycle start,
+                      AccessKind kind, bool *llcHitOut);
+
+    void issuePrefetches(Addr trigger, bool wasLlcMiss, Cycle now);
+    static void prune(std::vector<Cycle> &v, Cycle now);
+
+    HierarchyConfig config_;
+    StatRegistry &stats_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache llc_;
+    DramModel dram_;
+    StreamPrefetcher prefetcher_;
+
+    std::vector<Cycle> demandMissQueue_;
+    std::vector<Cycle> uselessMissQueue_;
+
+    std::uint64_t lastPrefUseful_ = 0;
+    std::uint64_t lastPrefIssued_ = 0;
+
+    std::uint64_t &dramDemandReads_;
+    std::uint64_t &dramPrefetchReads_;
+    std::uint64_t &dramWrongPathReads_;
+    std::uint64_t &dramRunaheadReads_;
+};
+
+} // namespace cdfsim::mem
+
+#endif // CDFSIM_MEM_HIERARCHY_HH

@@ -1,0 +1,130 @@
+#include "mem/prefetcher.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace cdfsim::mem
+{
+
+StreamPrefetcher::StreamPrefetcher(const PrefetcherConfig &config,
+                                   StatRegistry &stats)
+    : config_(config),
+      streams_(config.streams),
+      degree_(config.initialDegree),
+      issued_(stats.counter("prefetcher.issued")),
+      throttleUps_(stats.counter("prefetcher.throttle_ups")),
+      throttleDowns_(stats.counter("prefetcher.throttle_downs"))
+{
+    if (config_.streams == 0)
+        fatal("prefetcher: need at least one stream");
+    if (config_.maxDegree > 16)
+        fatal("prefetcher: max degree capped at 16");
+    if (degree_ < config_.minDegree || degree_ > config_.maxDegree)
+        fatal("prefetcher: initial degree outside [min, max]");
+}
+
+StreamPrefetcher::Stream *
+StreamPrefetcher::findStream(std::int64_t line)
+{
+    Stream *best = nullptr;
+    for (auto &s : streams_) {
+        if (!s.valid)
+            continue;
+        const std::int64_t gap = line - s.lastLine;
+        if (std::llabs(gap) <=
+            static_cast<std::int64_t>(config_.trainDistance)) {
+            if (!best || s.lruTick > best->lruTick)
+                best = &s;
+        }
+    }
+    return best;
+}
+
+StreamPrefetcher::Stream &
+StreamPrefetcher::allocateStream(std::int64_t line)
+{
+    Stream *victim = &streams_[0];
+    for (auto &s : streams_) {
+        if (!s.valid) {
+            victim = &s;
+            break;
+        }
+        if (s.lruTick < victim->lruTick)
+            victim = &s;
+    }
+    *victim = Stream{};
+    victim->valid = true;
+    victim->lastLine = line;
+    victim->lruTick = ++tick_;
+    return *victim;
+}
+
+PrefetchBatch
+StreamPrefetcher::observe(Addr addr, bool wasMiss)
+{
+    PrefetchBatch batch;
+    const std::int64_t line =
+        static_cast<std::int64_t>(addr / kLineBytes);
+
+    Stream *s = findStream(line);
+    if (!s) {
+        if (wasMiss)
+            allocateStream(line);
+        return batch;
+    }
+
+    s->lruTick = ++tick_;
+    const std::int64_t gap = line - s->lastLine;
+    if (gap == 0)
+        return batch;
+
+    const int dir = gap > 0 ? 1 : -1;
+    if (!s->confirmed) {
+        s->confirmed = true;
+        s->direction = dir;
+    } else if (dir != s->direction) {
+        // Direction flip: retrain in the new direction.
+        s->direction = dir;
+        s->lastLine = line;
+        return batch;
+    }
+    s->lastLine = line;
+
+    for (unsigned i = 1; i <= degree_ && batch.count < 16; ++i) {
+        const std::int64_t target =
+            line + s->direction * static_cast<std::int64_t>(i);
+        if (target < 0)
+            break;
+        batch.lines[batch.count++] =
+            static_cast<Addr>(target) * kLineBytes;
+    }
+    issued_ += batch.count;
+    return batch;
+}
+
+void
+StreamPrefetcher::feedback(std::uint64_t usefulDelta,
+                           std::uint64_t issuedDelta)
+{
+    pendingUseful_ += usefulDelta;
+    pendingIssued_ += issuedDelta;
+    if (pendingIssued_ < config_.evalIntervalFills)
+        return;
+
+    const double accuracy =
+        static_cast<double>(pendingUseful_) /
+        static_cast<double>(pendingIssued_);
+    if (accuracy < config_.lowAccuracy && degree_ > config_.minDegree) {
+        --degree_;
+        ++throttleDowns_;
+    } else if (accuracy > config_.highAccuracy &&
+               degree_ < config_.maxDegree) {
+        ++degree_;
+        ++throttleUps_;
+    }
+    pendingUseful_ = 0;
+    pendingIssued_ = 0;
+}
+
+} // namespace cdfsim::mem

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * The execution-driven, cycle-level out-of-order core, with the CDF
+ * mechanism (paper Section 3) and the Precise Runahead comparator
+ * (Section 4.1) integrated into its pipeline.
+ *
+ * The timing model binds every correct-path instruction to the
+ * functional oracle, so the retired instruction stream is correct by
+ * construction and checked by assertion (timestamps must retire
+ * contiguously). Wrong-path fetch is modelled functionally through
+ * WrongPathWalker so speculative memory traffic is realistic.
+ */
+
+#ifndef CDFSIM_OOO_CORE_HH
+#define CDFSIM_OOO_CORE_HH
+
+#include <deque>
+#include <list>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "bp/predictor.hh"
+#include "cdf/critical_table.hh"
+#include "cdf/fifos.hh"
+#include "cdf/fill_buffer.hh"
+#include "cdf/mask_cache.hh"
+#include "cdf/partition.hh"
+#include "cdf/uop_cache.hh"
+#include "common/circular_queue.hh"
+#include "common/histogram.hh"
+#include "common/stats.hh"
+#include "isa/oracle.hh"
+#include "mem/hierarchy.hh"
+#include "ooo/core_config.hh"
+#include "ooo/dyn_inst.hh"
+#include "ooo/lsq.hh"
+#include "ooo/rename.hh"
+#include "ooo/rob.hh"
+#include "ooo/rs.hh"
+
+namespace cdfsim::ooo
+{
+
+/** Aggregate results of a simulation run. */
+struct CoreResult
+{
+    std::uint64_t retiredInstrs = 0;
+    Cycle cycles = 0;
+    double ipc = 0.0;
+    double mlp = 0.0;            //!< mean outstanding DRAM misses (>0)
+    double uselessMlp = 0.0;     //!< wrong-path share of outstanding
+    std::uint64_t dramBytes = 0;
+    double branchMpki = 0.0;
+    double llcMpki = 0.0;
+    double cdfModeFraction = 0.0;   //!< cycles in CDF mode
+    double fullWindowStallFraction = 0.0;
+    double robCriticalFraction = 0.0; //!< Fig. 1 sample (observe mode)
+    bool halted = false;
+};
+
+/** The core. */
+class Core
+{
+  public:
+    /**
+     * @param config Core configuration (mode selects baseline/CDF/PRE).
+     * @param program The uop program to run.
+     * @param memory Initial data memory (mutated by execution).
+     * @param stats Statistic registry (shared with the hierarchy).
+     */
+    Core(const CoreConfig &config, const isa::Program &program,
+         isa::MemoryImage &memory, StatRegistry &stats);
+
+    Core(const Core &) = delete;
+    Core &operator=(const Core &) = delete;
+    ~Core();
+
+    /** Advance one cycle. */
+    void tick();
+
+    /**
+     * Run until @p maxRetired instructions retired, the program
+     * halts, or @p maxCycles elapse. Returns the results summary.
+     */
+    CoreResult run(std::uint64_t maxRetired,
+                   Cycle maxCycles = kNeverCycle);
+
+    /**
+     * Reset measurement statistics (after warmup): zeroes the stat
+     * registry and the internal IPC/MLP accounting, keeping all
+     * microarchitectural state (caches, predictors, CDF tables).
+     */
+    void resetMeasurement();
+
+    bool halted() const { return halted_; }
+    Cycle cycle() const { return now_; }
+    std::uint64_t retired() const { return retiredInstrs_; }
+    bool inCdfMode() const { return cdfMode_; }
+    bool inRunahead() const { return raActive_; }
+
+    /** Build the result summary from the current counters. */
+    CoreResult result() const;
+
+    const CoreConfig &config() const { return config_; }
+    mem::MemHierarchy &memHierarchy() { return mem_; }
+    StatRegistry &stats() { return stats_; }
+
+    /** Critical partition capacity (for examples/visualization). */
+    unsigned robCriticalCap() const { return rob_.criticalCap(); }
+    std::size_t robOccupancy() const { return rob_.occupancy(); }
+
+  private:
+    // --- Pipeline stages (called in reverse order each tick) ---
+    void retireStage();
+    void completionStage();
+    void executeStage();
+    void renameStage();
+    void renameCritical(unsigned &slots);
+    bool renameRegularOne();
+    void fetchStage();
+    void fetchRegularBaseline(unsigned &budget);
+    void fetchCriticalCdf(unsigned &budget);
+    void fetchRegularCdf(unsigned &budget);
+    void statsStage();
+
+    // --- Instruction lifecycle ---
+    DynInst *makeInst(const isa::ExecRecord &rec, SeqNum ts, bool onPath);
+    void destroyInst(DynInst *inst);
+
+    // --- Execution helpers ---
+    void issueOne(DynInst *inst);
+    bool tryIssueLoad(DynInst *inst);
+    void issueStore(DynInst *inst);
+    void scheduleCompletion(DynInst *inst, Cycle when);
+    void finishInst(DynInst *inst);
+
+    // --- Recovery ---
+    void recoverFromBranch(DynInst *branch);
+    void dependenceViolationRecovery(SeqNum violTs);
+    void memoryOrderViolation(DynInst *load);
+    void squashYoungerThan(SeqNum flushTs);
+
+    // --- CDF mode control ---
+    void maybeEnterCdfMode(Addr pc, SeqNum seq);
+    void drainCriticalFrontend();
+    void beginCdfExit();
+    void finishCdfExit();
+    void abortCdfMode();
+    void applyPartitionCaps();
+    void releasePartitionCaps();
+
+    // --- PRE (runahead) ---
+    void maybeEnterRunahead(const DynInst *head);
+    void runaheadStep(unsigned &budget);
+    void exitRunahead();
+
+    // --- Retire-side criticality training ---
+    void trainOnRetire(const DynInst *inst);
+
+    bool icacheGate(Addr pc, unsigned &budget);
+    bool frontStopped() const;
+
+    // ------------------------------------------------------------------
+    CoreConfig config_;
+    StatRegistry &stats_;
+    isa::OracleStream oracle_;
+    isa::WrongPathWalker walker_;     //!< regular-mode wrong path
+    isa::WrongPathWalker cdfWalker_;  //!< CDF-mode shared wrong path
+    isa::WrongPathWalker raWalker_;   //!< PRE runahead shadow execution
+    mem::MemHierarchy mem_;
+    bp::BranchPredictor bp_;
+
+    PhysRegFile prf_;
+    RenameMap rat_;
+    RenameMap critRat_;
+    Rob rob_;
+    Lsq lsq_;
+    ReservationStations rs_;
+
+    std::list<DynInst> inflight_;   //!< master pool, fetch order
+
+    CircularQueue<DynInst *> frontQ_;   //!< regular stream, pre-rename
+    CircularQueue<DynInst *> critQ_;    //!< critical stream, pre-rename
+
+    // Pending stores that left the RS with address done but data
+    // outstanding; completed when the data register becomes ready.
+    std::vector<DynInst *> pendingStores_;
+
+    // Completion event queue ordered by cycle.
+    struct CompletionEvent
+    {
+        Cycle when;
+        DynInst *inst;
+        bool operator>(const CompletionEvent &o) const
+        {
+            return when > o.when;
+        }
+    };
+    std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,
+                        std::greater<CompletionEvent>>
+        completions_;
+
+    // --- Frontend state (regular mode) ---
+    Cycle now_ = 0;
+    SeqNum fetchSeqCounter_ = 0;     //!< unique fetch ids
+    SeqNum nextFetchTs_ = 0;         //!< next oracle index to fetch
+    bool wrongPath_ = false;
+    Addr wrongPathPc_ = 0;
+    SeqNum wrongPathTs_ = 0;
+    Cycle fetchStallUntil_ = 0;
+    Addr lastFetchLine_ = ~Addr{0};
+    bool fetchDoneHalt_ = false;
+    SeqNum nextRetireTs_ = 0;
+    bool halted_ = false;
+    Cycle lastRetireCycle_ = 0;
+    std::uint64_t retiredInstrs_ = 0;
+
+    // Basic-block tracking at fetch (uop-cache probing, Fig. 1 marks).
+    bool fetchAtBbStart_ = true;
+    Addr fetchBbStartPc_ = 0;
+    unsigned fetchBbOffset_ = 0;
+
+    // Retire-side basic-block tracking for the Fill Buffer.
+    bool retirePrevWasBranch_ = true;
+
+    // --- CDF machinery ---
+    std::unique_ptr<cdf::CriticalCountTable> loadCct_;
+    std::unique_ptr<cdf::CriticalCountTable> branchCct_;
+    std::unique_ptr<cdf::MaskCache> maskCache_;
+    std::unique_ptr<cdf::CriticalUopCache> uopCache_;
+    std::unique_ptr<cdf::FillBuffer> fillBuffer_;
+    std::unique_ptr<cdf::SectionPartition> robPart_;
+    std::unique_ptr<cdf::SectionPartition> lqPart_;
+    std::unique_ptr<cdf::SectionPartition> sqPart_;
+    std::unique_ptr<cdf::DelayedBranchQueue> dbq_;
+    std::unique_ptr<cdf::CriticalMapQueue> cmq_;
+
+    bool cdfMode_ = false;
+    bool cdfDraining_ = false;
+    Cycle cdfCooldownUntil_ = 0;
+    bool critRatCopied_ = false;
+    SeqNum cdfStartTs_ = 0;
+    SeqNum regRenamedThroughTs_ = 0;  //!< last ts regular rename passed
+
+    // Critical fetch cursor. The active trace is COPIED out of the
+    // uop cache: a concurrent fill-buffer walk may replace the
+    // cached trace mid-emission.
+    Addr critFetchPc_ = 0;
+    SeqNum critFetchBaseTs_ = 0;   //!< ts of the current BB's first uop
+    bool critOnPath_ = true;
+    bool critTraceValid_ = false;
+    cdf::BbTrace critTrace_;
+    unsigned critTraceIdx_ = 0;
+    SeqNum critProcessedThroughTs_ = 0; //!< BBs fully handled
+
+    // Regular-stream cursor in CDF mode.
+    SeqNum regNextTs_ = 0;
+    bool regWrongPath_ = false;
+
+    /** First ts NOT yet covered by a critical-fetch-processed BB. */
+    SeqNum critCoveredUpTo_ = 0;
+    /** Next wrong-path ts the critical fetch will assign. */
+    SeqNum critWpNextTs_ = 0;
+    /** wpRecords_ index of the current wrong-path BB's first uop. */
+    std::size_t critWpBbBase_ = 0;
+
+    /** Critical-stream instructions by ts (for CMQ replay transfer). */
+    std::unordered_map<SeqNum, DynInst *> criticalByTs_;
+
+    /** Per-BB criticality bits handed from critical to regular fetch. */
+    struct BbInfo
+    {
+        SeqNum baseTs;
+        std::vector<bool> critBits;
+    };
+    std::deque<BbInfo> bbInfoQ_;
+
+    // Wrong-path records produced by critical fetch for the regular
+    // stream to consume (both streams share one divergence).
+    struct WpRecord
+    {
+        isa::ExecRecord rec;
+        SeqNum ts;
+        bool critical;
+    };
+    std::vector<WpRecord> wpRecords_;
+    std::size_t wpConsumeIdx_ = 0;
+
+    // DBQ checkpoints: branch checkpoints taken at critical fetch for
+    // branches that travel only in the regular stream.
+    struct DbqCheckpoint
+    {
+        SeqNum ts;
+        bp::BpCheckpoint ckpt;
+        bool mispredicted;
+        bool btbMiss;
+        bp::TagePredictionInfo tageInfo;
+    };
+    std::vector<DbqCheckpoint> dbqCkpts_;
+
+    /** Wrong-path critical fetch ran into unwalkable code; idle. */
+    bool critWpStuck_ = false;
+
+    // --- PRE machinery ---
+    std::unique_ptr<cdf::CriticalCountTable> stallTable_;
+    bool raActive_ = false;
+    Cycle raEndCycle_ = 0;
+    Addr raPc_ = 0;
+    bool raTraceValid_ = false;
+    cdf::BbTrace raTrace_;
+    unsigned raTraceIdx_ = 0;
+    std::vector<isa::ExecRecord> raBbRecs_;
+    std::bitset<kNumArchRegs> raTaint_;
+    bp::BpCheckpoint raBpCkpt_;
+    std::uint64_t raChainLoads_ = 0;
+    unsigned raEpisodeLoads_ = 0;
+    /** Last committed address per static load (stale-value model). */
+    std::unordered_map<Addr, Addr> lastRetiredLoadAddr_;
+    Cycle stallStartCycle_ = 0;
+    bool stallCounting_ = false;
+
+    // Oldest branch checkpoint found in the last squash, used by the
+    // violation-recovery paths to rewind speculative predictor state.
+    bool squashOldestCkptValid_ = false;
+    SeqNum squashOldestCkptTs_ = 0;
+    bp::BpCheckpoint squashOldestCkpt_;
+
+    // Deferred memory-order violation (processed after RS selection).
+    DynInst *pendingMemViolation_ = nullptr;
+    // Deferred dependence violation detected at rename replay.
+    SeqNum pendingDepViolationTs_ = kInvalidSeq;
+
+    // --- Measurement ---
+    Cycle measureStartCycle_ = 0;
+    std::uint64_t measureStartRetired_ = 0;
+    RunningMean mlpWhenActive_;
+    RunningMean uselessMlpWhenActive_;
+    RunningMean fig1CriticalFrac_;
+    std::uint64_t fullWindowStallCycles_ = 0;
+    std::uint64_t cdfModeCycles_ = 0;
+
+    // Cached stat counters.
+    std::uint64_t &statCycles_;
+    std::uint64_t &statRetired_;
+    std::uint64_t &statFetched_;
+    std::uint64_t &statFetchedWrongPath_;
+    std::uint64_t &statRenamed_;
+    std::uint64_t &statRenamedCritical_;
+    std::uint64_t &statIssued_;
+    std::uint64_t &statBranches_;
+    std::uint64_t &statMispredicts_;
+    std::uint64_t &statLlcMissLoads_;
+    std::uint64_t &statDepViolations_;
+    std::uint64_t &statMemOrderViolations_;
+    std::uint64_t &statCdfEpisodes_;
+    std::uint64_t &statCdfExitsUopMiss_;
+    std::uint64_t &statRunaheadEpisodes_;
+    std::uint64_t &statRunaheadUops_;
+    std::uint64_t &statRunaheadLoads_;
+    std::uint64_t &statRunaheadTraceMiss_;
+};
+
+} // namespace cdfsim::ooo
+
+#endif // CDFSIM_OOO_CORE_HH

@@ -1,0 +1,760 @@
+/**
+ * @file
+ * Core backend: rename/dispatch (regular + critical streams),
+ * scheduling and execution, completion, retirement, and all
+ * recovery paths (branch mispredicts, memory-order violations,
+ * CDF dependence violations).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
+
+namespace
+{
+bool
+traceEv3(unsigned long ts)
+{
+    static const char *env = std::getenv("CDFSIM_TRACE_TS");
+    if (!env)
+        return false;
+    static unsigned long lo = 0, hi = 0;
+    static bool p = [] {
+        std::sscanf(std::getenv("CDFSIM_TRACE_TS"), "%lu:%lu", &lo,
+                    &hi);
+        return true;
+    }();
+    (void)p;
+    return ts >= lo && ts <= hi;
+}
+} // namespace
+
+#include "common/logging.hh"
+#include "ooo/core.hh"
+
+namespace cdfsim::ooo
+{
+
+// ---------------------------------------------------------------------
+// Rename / dispatch
+// ---------------------------------------------------------------------
+
+void
+Core::renameStage()
+{
+    unsigned slots = config_.width;
+    // The Issue logic prefers the critical rename stage whenever it
+    // has work (Section 3.5); total bandwidth is shared.
+    if (config_.mode == CoreMode::Cdf)
+        renameCritical(slots);
+    while (slots > 0) {
+        if (!renameRegularOne())
+            break;
+        --slots;
+    }
+    if (pendingDepViolationTs_ != kInvalidSeq) {
+        const SeqNum ts = pendingDepViolationTs_;
+        pendingDepViolationTs_ = kInvalidSeq;
+        dependenceViolationRecovery(ts);
+    }
+}
+
+void
+Core::renameCritical(unsigned &slots)
+{
+    while (slots > 0 && !critQ_.empty()) {
+        DynInst *inst = critQ_.front();
+        if (inst->readyAtRename > now_)
+            return;
+
+        // The critical RAT is a copy of the regular RAT taken after
+        // the last pre-CDF instruction renamed (Section 3.4).
+        if (!critRatCopied_) {
+            if (regRenamedThroughTs_ < cdfStartTs_)
+                return;
+            critRat_.copyFrom(rat_);
+            rat_.clearAllPoison();
+            critRatCopied_ = true;
+        }
+
+        if (!prf_.hasFree())
+            return;
+        if (!rob_.canInsert(true)) {
+            robPart_->noteStall(true);
+            return;
+        }
+        if (!rs_.canInsert(true)) {
+            robPart_->noteStall(true);
+            return;
+        }
+        if (inst->isLoad() && !lsq_.lq().canInsert(true)) {
+            lqPart_->noteStall(true);
+            return;
+        }
+        if (inst->isStore() && !lsq_.sq().canInsert(true)) {
+            sqPart_->noteStall(true);
+            return;
+        }
+        if (cmq_->full())
+            return;
+
+        RenameResult rr = critRat_.rename(inst->uop, prf_);
+        inst->physSrc1 = rr.physSrc1;
+        inst->physSrc2 = rr.physSrc2;
+        inst->physDst = rr.physDst;
+        inst->oldPhysDstCrit = rr.oldPhysDst;
+        inst->renamedCritical = true;
+        inst->state = InstState::Renamed;
+        inst->renameCycle = now_;
+
+        rob_.insert(inst, true);
+        rs_.insert(inst);
+        if (inst->isLoad())
+            lsq_.lq().insert(inst, true);
+        if (inst->isStore())
+            lsq_.sq().insert(inst, true);
+
+        if (traceEv3(inst->ts))
+            std::fprintf(stderr, "[%lu] CRITRENAME ts=%lu\n", now_,
+                         inst->ts);
+        cmq_->push({inst->ts, inst->uop.dst, inst->physDst,
+                    kInvalidReg});
+        criticalByTs_[inst->ts] = inst;
+
+        critQ_.pop();
+        --slots;
+        ++statRenamed_;
+        ++statRenamedCritical_;
+    }
+}
+
+bool
+Core::renameRegularOne()
+{
+    if (frontQ_.empty())
+        return false;
+    DynInst *inst = frontQ_.front();
+    if (inst->readyAtRename > now_)
+        return false;
+
+    // CDF: critical uops in the regular stream replay the rename
+    // performed in the critical stream and are then discarded
+    // (Section 3.4); the poison-bit check detects dependence
+    // violations (Section 3.6).
+    if (inst->cdfFetched && inst->critical) {
+        if (cmq_->empty() || cmq_->front().ts != inst->ts)
+            return false; // critical rename has not produced it yet
+
+        if (rat_.readsPoisoned(inst->uop)) {
+            pendingDepViolationTs_ = inst->ts;
+            return false;
+        }
+
+        if (traceEv3(inst->ts))
+            std::fprintf(stderr, "[%lu] REPLAY ts=%lu\n", now_,
+                         inst->ts);
+        cdf::CmqEntry e = cmq_->pop();
+        DynInst *real = nullptr;
+        auto it = criticalByTs_.find(inst->ts);
+        SIM_ASSERT(it != criticalByTs_.end(),
+                   "CMQ replay with no critical-stream instruction");
+        real = it->second;
+        real->hasPoisonSnapshot = true;
+        real->poisonSnapshot = rat_.poisonBits();
+        if (inst->uop.writesReg()) {
+            RegId old = rat_.replay(e.archDst, e.physDst);
+            rat_.clearPoison(e.archDst);
+            real->oldPhysDst = old;
+            real->renamedRegular = true;
+        } else {
+            real->renamedRegular = true;
+        }
+        if (inst->onPath)
+            regRenamedThroughTs_ = inst->ts + 1;
+        frontQ_.pop();
+        destroyInst(inst); // the copy is filtered out at rename
+        ++statRenamed_;
+        return true;
+    }
+
+    // Regular rename path (baseline, PRE, and non-critical CDF uops).
+    if (!prf_.hasFree())
+        return false;
+    if (!rob_.canInsert(false)) {
+        if (robPart_)
+            robPart_->noteStall(false);
+        return false;
+    }
+    if (!rs_.canInsert(false))
+        return false;
+    if (inst->isLoad() && !lsq_.lq().canInsert(false)) {
+        if (lqPart_)
+            lqPart_->noteStall(false);
+        return false;
+    }
+    if (inst->isStore() && !lsq_.sq().canInsert(false)) {
+        if (sqPart_)
+            sqPart_->noteStall(false);
+        return false;
+    }
+
+    RenameResult rr = rat_.rename(inst->uop, prf_);
+    inst->physSrc1 = rr.physSrc1;
+    inst->physSrc2 = rr.physSrc2;
+    inst->physDst = rr.physDst;
+    inst->oldPhysDst = rr.oldPhysDst;
+    inst->renamedRegular = true;
+    inst->state = InstState::Renamed;
+    inst->renameCycle = now_;
+
+    // Non-critical uops poison their destinations during CDF
+    // (Section 3.6) so later critical replays can detect missed
+    // producers. The pre-rename poison state is snapshotted so a
+    // flush can restore it (the poison bits live in the RAT and are
+    // checkpointed with it).
+    inst->hasPoisonSnapshot = true;
+    inst->poisonSnapshot = rat_.poisonBits();
+    if (cdfMode_ && inst->cdfFetched && inst->uop.writesReg())
+        rat_.setPoison(inst->uop.dst);
+
+    const bool critSection = false;
+    rob_.insert(inst, critSection);
+    if (!inst->uop.isHalt() && inst->uop.op != isa::Opcode::Nop)
+        rs_.insert(inst);
+    else
+        scheduleCompletion(inst, now_ + 1); // nop/halt complete fast
+    if (inst->isLoad())
+        lsq_.lq().insert(inst, critSection);
+    if (inst->isStore())
+        lsq_.sq().insert(inst, critSection);
+
+    if (inst->onPath)
+        regRenamedThroughTs_ = inst->ts + 1;
+    frontQ_.pop();
+    ++statRenamed_;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Execute
+// ---------------------------------------------------------------------
+
+void
+Core::executeStage()
+{
+    // Stores whose address resolved earlier but whose data lagged.
+    std::erase_if(pendingStores_, [&](DynInst *st) {
+        if (prf_.isReady(st->physSrc2, now_)) {
+            scheduleCompletion(st, now_ + 1);
+            return true;
+        }
+        return false;
+    });
+
+    unsigned loads = 0;
+    unsigned stores = 0;
+
+    auto ready = [&](DynInst *inst) {
+        if (inst->state != InstState::Renamed)
+            return false;
+        if (!prf_.isReady(inst->physSrc1, now_))
+            return false;
+        if (inst->isLoad() || inst->isStore()) {
+            // Loads need only the address register; store address
+            // generation likewise proceeds without the data. A load
+            // blocked on store-forwarding data re-attempts through
+            // accept() below (the store may retire or its data reg
+            // may be recycled, so no ready-gate is kept on it).
+            return true;
+        }
+        return prf_.isReady(inst->physSrc2, now_);
+    };
+
+    auto accept = [&](DynInst *inst) {
+        if (inst->isLoad()) {
+            if (loads >= config_.maxLoadsPerCycle)
+                return false;
+            if (!tryIssueLoad(inst))
+                return false;
+            ++loads;
+        } else if (inst->isStore()) {
+            if (stores >= config_.maxStoresPerCycle)
+                return false;
+            issueStore(inst);
+            ++stores;
+        } else {
+            issueOne(inst);
+        }
+        ++statIssued_;
+        return true;
+    };
+
+    rs_.selectAndIssue(config_.issueWidth, ready, accept);
+
+    if (pendingMemViolation_) {
+        DynInst *ld = pendingMemViolation_;
+        pendingMemViolation_ = nullptr;
+        memoryOrderViolation(ld);
+    }
+}
+
+void
+Core::issueOne(DynInst *inst)
+{
+    inst->state = InstState::Issued;
+    scheduleCompletion(inst, now_ + isa::executeLatency(inst->uop.op));
+}
+
+bool
+Core::tryIssueLoad(DynInst *inst)
+{
+    const Cycle agen = now_ + 1;
+    inst->addrKnown = true;
+
+    bool olderUnknown = false;
+    DynInst *st = lsq_.forwardingStore(inst, &olderUnknown);
+    // Loads speculate past older stores with unresolved addresses;
+    // the violation check at store address-generation catches any
+    // mistakes (Section 3.5).
+    if (st) {
+        if (!prf_.isReady(st->physSrc2, now_))
+            return false; // retry: stays in the RS until data is ready
+        inst->forwardSrcTs = st->ts;
+        inst->state = InstState::Issued;
+        scheduleCompletion(inst, agen + 1);
+        return true;
+    }
+
+    const auto kind = inst->onPath ? mem::AccessKind::DemandLoad
+                                   : mem::AccessKind::WrongPathLoad;
+    auto res = mem_.dataAccess(inst->memAddr, kind, agen);
+    inst->llcMiss = res.llcMiss;
+    inst->l1Miss = !res.l1Hit;
+    if (res.llcMiss && inst->onPath)
+        ++statLlcMissLoads_;
+    inst->forwardSrcTs = 0;
+    inst->state = InstState::Issued;
+    scheduleCompletion(inst, res.ready);
+    return true;
+}
+
+void
+Core::issueStore(DynInst *inst)
+{
+    inst->state = InstState::Issued;
+    inst->addrKnown = true;
+
+    // Memory-ordering violation search (defer the flush until the
+    // RS selection loop has finished).
+    if (inst->onPath && !pendingMemViolation_) {
+        if (DynInst *ld = lsq_.violatingLoad(inst); ld && ld->onPath)
+            pendingMemViolation_ = ld;
+    }
+
+    if (prf_.isReady(inst->physSrc2, now_))
+        scheduleCompletion(inst, now_ + 1);
+    else
+        pendingStores_.push_back(inst);
+}
+
+void
+Core::scheduleCompletion(DynInst *inst, Cycle when)
+{
+    inst->completionCycle = when;
+    // Broadcast the wakeup time immediately so dependents can be
+    // scheduled back-to-back.
+    if (inst->physDst != kInvalidReg)
+        prf_.setReadyAt(inst->physDst, when);
+    completions_.push({when, inst});
+}
+
+// ---------------------------------------------------------------------
+// Completion
+// ---------------------------------------------------------------------
+
+void
+Core::completionStage()
+{
+    while (!completions_.empty() && completions_.top().when <= now_) {
+        DynInst *inst = completions_.top().inst;
+        completions_.pop();
+        finishInst(inst);
+    }
+}
+
+void
+Core::finishInst(DynInst *inst)
+{
+    inst->state = InstState::Completed;
+
+    if (inst->isBranch() && inst->onPath) {
+        bp_.update(inst->pc, inst->uop, inst->taken,
+                   inst->actualTarget, inst->tageInfo);
+        if (inst->mispredicted)
+            recoverFromBranch(inst);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Retire
+// ---------------------------------------------------------------------
+
+void
+Core::retireStage()
+{
+    for (unsigned n = 0; n < config_.width; ++n) {
+        DynInst *h = rob_.head();
+        if (!h || h->state != InstState::Completed)
+            break;
+        // A critical-stream uop cannot retire before its regular
+        // stream copy replayed the rename (the RAT must be
+        // committed in program order).
+        if (h->criticalStream && !h->renamedRegular)
+            break;
+
+        SIM_ASSERT(h->onPath, "wrong-path instruction reached retire");
+        SIM_ASSERT(h->ts == nextRetireTs_,
+                   "out-of-order retirement: ts ", h->ts, " expected ",
+                   nextRetireTs_);
+        ++nextRetireTs_;
+
+        if (h->isLoad()) {
+            lsq_.lq().retire(h);
+            if (config_.mode == CoreMode::Pre)
+                lastRetiredLoadAddr_[h->pc] = h->memAddr;
+        }
+        if (h->isStore()) {
+            lsq_.sq().retire(h);
+            mem_.dataAccess(h->memAddr, mem::AccessKind::DemandStore,
+                            now_);
+        }
+        rob_.popHead();
+
+        if (h->renamedRegular && h->oldPhysDst != kInvalidReg)
+            prf_.release(h->oldPhysDst);
+
+        const bool isHalt = h->uop.isHalt();
+        ++retiredInstrs_;
+        ++statRetired_;
+        lastRetireCycle_ = now_;
+
+        trainOnRetire(h);
+
+        criticalByTs_.erase(h->ts);
+        destroyInst(h);
+
+        if (isHalt) {
+            halted_ = true;
+            return;
+        }
+    }
+
+    // Periodically let the oracle window shrink.
+    if ((retiredInstrs_ & 0xFFF) == 0 && retiredInstrs_ > 0)
+        oracle_.releaseBelow(nextRetireTs_);
+
+    // Full-window-stall classification: the window is stalled when
+    // the ROB cannot accept new instructions and the oldest
+    // instruction is an outstanding load miss.
+    DynInst *h = rob_.head();
+    const bool robFull =
+        rob_.occupancy() >= config_.robSize ||
+        (!rob_.canInsert(false) && !frontQ_.empty() &&
+         frontQ_.front()->readyAtRename <= now_);
+    if (robFull && h && h->state != InstState::Completed) {
+        ++fullWindowStallCycles_;
+        if (config_.observeCriticality) {
+            std::uint64_t crit = 0;
+            std::uint64_t total = 0;
+            for (const auto *q :
+                 {&rob_.criticalSection(), &rob_.nonCriticalSection()}) {
+                for (const DynInst *i : *q) {
+                    ++total;
+                    if (i->critical)
+                        ++crit;
+                }
+            }
+            if (total > 0) {
+                fig1CriticalFrac_.add(static_cast<double>(crit) /
+                                      static_cast<double>(total));
+            }
+        }
+        if (config_.mode == CoreMode::Pre && h->isLoad() &&
+            h->llcMiss) {
+            maybeEnterRunahead(h);
+        }
+    } else {
+        stallCounting_ = false;
+    }
+}
+
+void
+Core::trainOnRetire(const DynInst *h)
+{
+    if (h->mispredicted)
+        ++statMispredicts_;
+
+    if (loadCct_ && h->isLoad())
+        loadCct_->update(h->pc, h->llcMiss);
+    if (branchCct_ && h->uop.isCondBranch())
+        branchCct_->update(h->pc, h->mispredicted);
+
+    if (fillBuffer_) {
+        bool seed = false;
+        if (config_.mode == CoreMode::Pre) {
+            seed = h->isLoad() && stallTable_->isCritical(h->pc);
+        } else if (h->isLoad()) {
+            seed = loadCct_->isCritical(h->pc);
+        } else if (h->uop.isCondBranch() &&
+                   config_.cdf.markCriticalBranches) {
+            seed = branchCct_->isCritical(h->pc);
+        }
+
+        cdf::RetiredUopInfo info;
+        info.pc = h->pc;
+        info.uop = h->uop;
+        info.memWordAddr = h->memWord();
+        info.seedCritical = seed;
+        info.startsBasicBlock = retirePrevWasBranch_;
+        auto wr = fillBuffer_->onRetire(info, retiredInstrs_, now_);
+        retirePrevWasBranch_ = h->isBranch();
+
+        // Criticality-density driven threshold-mode switching
+        // (Section 3.2).
+        if (wr.performed && loadCct_) {
+            if (wr.density < config_.cdf.densitySwitchLow) {
+                loadCct_->setMode(cdf::ThresholdMode::Permissive);
+                branchCct_->setMode(cdf::ThresholdMode::Permissive);
+            } else if (wr.density > config_.cdf.densitySwitchHigh) {
+                loadCct_->setMode(cdf::ThresholdMode::Strict);
+                branchCct_->setMode(cdf::ThresholdMode::Strict);
+            }
+        }
+    }
+    if (maskCache_)
+        maskCache_->maybeReset(retiredInstrs_);
+}
+
+// ---------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------
+
+void
+Core::squashYoungerThan(SeqNum flushTs)
+{
+    // Collect the doomed set first so the completion heap and other
+    // side structures can be filtered before any memory is freed.
+    std::vector<DynInst *> squashed;
+    squashOldestCkptValid_ = false;
+    for (DynInst &inst : inflight_) {
+        if (inst.ts > flushTs)
+            squashed.push_back(&inst);
+    }
+    // NOTE: even when no in-flight instruction is younger than the
+    // flush point, the FIFO flushes further down must still run:
+    // wrong-path basic blocks with no critical uops leave DBQ /
+    // wpRecords / BbInfo entries behind without any instruction.
+
+    // Track the oldest squashed branch checkpoint so violation
+    // recoveries can rewind the predictor's speculative history.
+    auto noteCkpt = [&](SeqNum ts, const bp::BpCheckpoint &c) {
+        if (!squashOldestCkptValid_ || ts < squashOldestCkptTs_) {
+            squashOldestCkptValid_ = true;
+            squashOldestCkptTs_ = ts;
+            squashOldestCkpt_ = c;
+        }
+    };
+    for (DynInst *inst : squashed) {
+        if (inst->hasBpCheckpoint)
+            noteCkpt(inst->ts, inst->bpCheckpoint);
+    }
+    for (const DbqCheckpoint &c : dbqCkpts_) {
+        if (c.ts > flushTs)
+            noteCkpt(c.ts, c.ckpt);
+    }
+    std::unordered_set<const DynInst *> dead(squashed.begin(),
+                                             squashed.end());
+
+    // Completion heap.
+    std::vector<CompletionEvent> keep;
+    keep.reserve(completions_.size());
+    while (!completions_.empty()) {
+        if (!dead.count(completions_.top().inst))
+            keep.push_back(completions_.top());
+        completions_.pop();
+    }
+    for (const auto &ev : keep)
+        completions_.push(ev);
+
+    std::erase_if(pendingStores_,
+                  [&](DynInst *st) { return dead.count(st) > 0; });
+    if (pendingMemViolation_ && dead.count(pendingMemViolation_))
+        pendingMemViolation_ = nullptr;
+
+    // Frontend queues (entries are ts-ordered within each queue).
+    for (auto *q : {&frontQ_, &critQ_}) {
+        std::size_t kept = q->size();
+        while (kept > 0 && q->at(kept - 1)->ts > flushTs)
+            --kept;
+        q->truncate(kept);
+    }
+
+    rob_.flushYounger(flushTs);
+    rs_.flushYounger(flushTs);
+    lsq_.lq().flushYounger(flushTs);
+    lsq_.sq().flushYounger(flushTs);
+
+    if (dbq_)
+        cdf::flushYounger(*dbq_, flushTs);
+    if (cmq_)
+        cdf::flushYounger(*cmq_, flushTs);
+    std::erase_if(dbqCkpts_,
+                  [&](const DbqCheckpoint &c) { return c.ts > flushTs; });
+    std::erase_if(wpRecords_,
+                  [&](const WpRecord &w) { return w.ts > flushTs; });
+    if (wpConsumeIdx_ > wpRecords_.size())
+        wpConsumeIdx_ = wpRecords_.size();
+    while (!bbInfoQ_.empty() && bbInfoQ_.back().baseTs > flushTs)
+        bbInfoQ_.pop_back();
+
+    // Undo renames youngest-first and release physical registers.
+    std::sort(squashed.begin(), squashed.end(),
+              [](const DynInst *a, const DynInst *b) {
+                  return a->ts > b->ts;
+              });
+
+    // Restore the poison bits to their state before the oldest
+    // squashed regular rename (they are RAT state and flush with it).
+    for (auto it = squashed.rbegin(); it != squashed.rend(); ++it) {
+        if ((*it)->hasPoisonSnapshot) {
+            rat_.setPoisonBits((*it)->poisonSnapshot);
+            break;
+        }
+    }
+
+    for (DynInst *inst : squashed) {
+        if (inst->uop.writesReg()) {
+            if (inst->renamedRegular)
+                rat_.undo(inst->uop.dst, inst->oldPhysDst);
+            if (inst->renamedCritical)
+                critRat_.undo(inst->uop.dst, inst->oldPhysDstCrit);
+        }
+        if (inst->physDst != kInvalidReg)
+            prf_.release(inst->physDst);
+        auto it = criticalByTs_.find(inst->ts);
+        if (it != criticalByTs_.end() && it->second == inst)
+            criticalByTs_.erase(it);
+        destroyInst(inst);
+    }
+
+    if (regRenamedThroughTs_ > flushTs + 1)
+        regRenamedThroughTs_ = flushTs + 1;
+}
+
+void
+Core::recoverFromBranch(DynInst *branch)
+{
+    SIM_ASSERT(branch->onPath, "recovery on a wrong-path branch");
+    const SeqNum flushTs = branch->ts;
+
+    if (raActive_)
+        exitRunahead(); // before the checkpoint rewind below
+
+    squashYoungerThan(flushTs);
+    SIM_ASSERT(branch->hasBpCheckpoint, "branch without checkpoint");
+    bp_.recover(branch->bpCheckpoint, branch->taken, branch->pc);
+
+    fetchStallUntil_ = now_ + config_.mispredictRedirect;
+    lastFetchLine_ = ~Addr{0};
+    fetchDoneHalt_ = false;
+
+    if (config_.mode == CoreMode::Cdf && cdfMode_) {
+        if (branch->cdfFetched) {
+            // CDF mode survives the mispredict (Section 3.6): fix
+            // the DBQ entry so the regular stream follows the
+            // corrected path, and restart critical fetch there.
+            for (std::size_t i = 0; i < dbq_->size(); ++i) {
+                if (dbq_->at(i).ts == branch->ts) {
+                    dbq_->at(i).taken = branch->taken;
+                    dbq_->at(i).target = branch->actualTarget;
+                }
+            }
+            critOnPath_ = true;
+            cdfWalker_.deactivate();
+            critTraceValid_ = false;
+            critTraceIdx_ = 0;
+            critFetchPc_ = branch->actualTarget;
+            critFetchBaseTs_ = branch->ts + 1;
+            critCoveredUpTo_ = branch->ts + 1;
+            wpRecords_.clear();
+            wpConsumeIdx_ = 0;
+            regWrongPath_ = false;
+            if (regNextTs_ > branch->ts + 1)
+                regNextTs_ = branch->ts + 1;
+            cdfDraining_ = false;
+        } else {
+            // Recovery to a branch fetched before CDF mode began
+            // ends CDF mode (exit condition (c), Section 3.6).
+            abortCdfMode();
+            wrongPath_ = false;
+            walker_.deactivate();
+            nextFetchTs_ = branch->ts + 1;
+            fetchAtBbStart_ = true;
+        }
+        return;
+    }
+
+    wrongPath_ = false;
+    walker_.deactivate();
+    nextFetchTs_ = branch->ts + 1;
+    fetchAtBbStart_ = true;
+}
+
+void
+Core::dependenceViolationRecovery(SeqNum violTs)
+{
+    ++statDepViolations_;
+    SIM_ASSERT(violTs > 0, "dependence violation at ts 0");
+    squashYoungerThan(violTs - 1);
+    if (squashOldestCkptValid_)
+        bp_.restore(squashOldestCkpt_);
+    abortCdfMode();
+    wrongPath_ = false;
+    walker_.deactivate();
+    nextFetchTs_ = violTs;
+    fetchAtBbStart_ = true;
+    fetchDoneHalt_ = false;
+    fetchStallUntil_ = now_ + config_.mispredictRedirect;
+    lastFetchLine_ = ~Addr{0};
+}
+
+void
+Core::memoryOrderViolation(DynInst *load)
+{
+    ++statMemOrderViolations_;
+    SeqNum t = load->ts;
+    SIM_ASSERT(t > 0, "memory-order violation at ts 0");
+    if (raActive_)
+        exitRunahead();
+    // In CDF mode, restart from the oldest point the regular stream
+    // has not yet fetched: uops older than that exist only in the
+    // critical stream and must not be refetched, while younger
+    // non-critical uops may not have been fetched at all yet.
+    if (cdfMode_ && regNextTs_ < t)
+        t = std::max<SeqNum>(regNextTs_, 1);
+    squashYoungerThan(t - 1);
+    if (squashOldestCkptValid_)
+        bp_.restore(squashOldestCkpt_);
+    if (cdfMode_)
+        abortCdfMode();
+    wrongPath_ = false;
+    walker_.deactivate();
+    nextFetchTs_ = t;
+    fetchAtBbStart_ = true;
+    fetchDoneHalt_ = false;
+    fetchStallUntil_ = now_ + config_.mispredictRedirect;
+    lastFetchLine_ = ~Addr{0};
+}
+
+} // namespace cdfsim::ooo

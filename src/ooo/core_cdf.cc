@@ -1,0 +1,549 @@
+/**
+ * @file
+ * CDF mode control and the dual fetch engines (paper Section 3.3):
+ * the critical fetch logic walking Critical Uop Cache traces with
+ * its own next-PC logic and branch prediction, and the regular fetch
+ * stream that replays the Delayed Branch Queue so both streams
+ * follow one control-flow path.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
+
+namespace
+{
+bool
+traceEv2(unsigned long ts)
+{
+    static const char *env = std::getenv("CDFSIM_TRACE_TS");
+    if (!env)
+        return false;
+    static unsigned long lo = 0, hi = 0;
+    static bool p = [] {
+        std::sscanf(std::getenv("CDFSIM_TRACE_TS"), "%lu:%lu", &lo,
+                    &hi);
+        return true;
+    }();
+    (void)p;
+    return ts >= lo && ts <= hi;
+}
+} // namespace
+
+#include "common/logging.hh"
+#include "ooo/core.hh"
+
+namespace cdfsim::ooo
+{
+
+void
+Core::applyPartitionCaps()
+{
+    if (!robPart_)
+        return;
+    rob_.setCriticalCap(robPart_->criticalCap());
+    lsq_.lq().setCriticalCap(lqPart_->criticalCap());
+    lsq_.sq().setCriticalCap(sqPart_->criticalCap());
+    // RS and PRF critical budgets scale with the ROB split
+    // (Section 3.5).
+    const unsigned rsCap = static_cast<unsigned>(
+        static_cast<std::uint64_t>(config_.rsSize) *
+        robPart_->criticalCap() / config_.robSize);
+    rs_.setCriticalCap(std::max(rsCap, 4u));
+}
+
+void
+Core::releasePartitionCaps()
+{
+    // Gradual release: cap shrinks to current occupancy so pending
+    // critical instructions drain, then to zero (Section 3.6,
+    // "Exiting CDF mode").
+    rob_.setCriticalCap(
+        static_cast<unsigned>(rob_.criticalOccupancy()));
+    lsq_.lq().setCriticalCap(
+        static_cast<unsigned>(lsq_.lq().criticalOccupancy()));
+    lsq_.sq().setCriticalCap(
+        static_cast<unsigned>(lsq_.sq().criticalOccupancy()));
+    rs_.setCriticalCap(
+        static_cast<unsigned>(rs_.criticalOccupancy()));
+}
+
+void
+Core::maybeEnterCdfMode(Addr pc, SeqNum seq)
+{
+    if (cdfMode_ || !uopCache_ || config_.mode != CoreMode::Cdf)
+        return;
+    if (now_ < cdfCooldownUntil_)
+        return;
+    // Do not start a new episode while the previous one's critical
+    // instructions are still draining.
+    if (!critQ_.empty() || !cmq_->empty() ||
+        rob_.criticalOccupancy() > 0) {
+        return;
+    }
+    const cdf::BbTrace *t = uopCache_->lookup(pc, now_);
+    if (!t)
+        return;
+
+    SIM_ASSERT(dbq_->empty(), "stale DBQ entries at CDF entry: ",
+               dbq_->size(), " oldest ts ",
+               dbq_->empty() ? 0 : dbq_->front().ts);
+
+    cdfMode_ = true;
+    cdfDraining_ = false;
+    ++statCdfEpisodes_;
+
+    cdfStartTs_ = seq;
+    critRatCopied_ = false;
+
+    critFetchPc_ = pc;
+    critFetchBaseTs_ = seq;
+    critOnPath_ = true;
+    critTraceValid_ = false;
+    critTraceIdx_ = 0;
+    critCoveredUpTo_ = seq;
+
+    regNextTs_ = seq;
+    regWrongPath_ = false;
+    critWpStuck_ = false;
+    wpRecords_.clear();
+    wpConsumeIdx_ = 0;
+    bbInfoQ_.clear();
+    dbqCkpts_.clear();
+    criticalByTs_.clear();
+
+    applyPartitionCaps();
+}
+
+void
+Core::beginCdfExit()
+{
+    cdfDraining_ = true;
+    critTraceValid_ = false;
+    cdfCooldownUntil_ = now_ + config_.cdf.reentryCooldown;
+}
+
+/**
+ * Drop critical uops still waiting in critQ_ and demote their
+ * regular-stream copies to normal renaming. Once CDF mode ends the
+ * poison machinery is off, so letting them rename through the (now
+ * stale) critical RAT would silently miss dependence violations.
+ */
+void
+Core::drainCriticalFrontend()
+{
+    if (critQ_.empty()) {
+        critRatCopied_ = false;
+        return;
+    }
+    std::unordered_set<SeqNum> dropped;
+    while (!critQ_.empty()) {
+        DynInst *inst = critQ_.pop();
+        if (traceEv2(inst->ts))
+            std::fprintf(stderr, "[%lu] DROP ts=%lu\n", now_,
+                         inst->ts);
+        dropped.insert(inst->ts);
+        destroyInst(inst);
+    }
+    for (std::size_t i = 0; i < frontQ_.size(); ++i) {
+        DynInst *copy = frontQ_.at(i);
+        if (copy->critical && copy->cdfFetched &&
+            dropped.count(copy->ts)) {
+            if (traceEv2(copy->ts))
+                std::fprintf(stderr, "[%lu] DEMOTE ts=%lu\n", now_,
+                             copy->ts);
+            copy->critical = false;
+        }
+    }
+    critRatCopied_ = false;
+}
+
+void
+Core::finishCdfExit()
+{
+    SIM_ASSERT(cdfMode_, "finishCdfExit outside CDF mode");
+    cdfMode_ = false;
+    cdfDraining_ = false;
+    drainCriticalFrontend();
+    critTraceValid_ = false;
+    critWpStuck_ = false;
+    cdfWalker_.deactivate();
+    critOnPath_ = true;
+
+    // Regular fetch resumes where the CDF regular stream stopped.
+    wrongPath_ = false;
+    walker_.deactivate();
+    nextFetchTs_ = regNextTs_;
+    fetchAtBbStart_ = true;
+
+    wpRecords_.clear();
+    wpConsumeIdx_ = 0;
+    bbInfoQ_.clear();
+    dbqCkpts_.clear();
+    rat_.clearAllPoison();
+    // Note: the CMQ may still hold entries for critical uops that
+    // are fetched but not yet replayed by regular rename; rename
+    // keeps draining it. The partition shrinks as the remaining
+    // critical instructions retire (handled in statsStage).
+}
+
+void
+Core::abortCdfMode()
+{
+    if (!cdfMode_)
+        return;
+    cdfMode_ = false;
+    cdfDraining_ = false;
+    cdfCooldownUntil_ = now_ + config_.cdf.reentryCooldown;
+    // Keep the DBQ/CMQ contents that survived the flush: regular
+    // stream copies already fetched still need their replays for
+    // critical uops that made it into the backend.
+    drainCriticalFrontend();
+    critTraceValid_ = false;
+    critWpStuck_ = false;
+    cdfWalker_.deactivate();
+    critOnPath_ = true;
+    dbqCkpts_.clear();
+    wpRecords_.clear();
+    wpConsumeIdx_ = 0;
+    bbInfoQ_.clear();
+    rat_.clearAllPoison();
+    releasePartitionCaps();
+}
+
+// ---------------------------------------------------------------------
+// Critical fetch engine
+// ---------------------------------------------------------------------
+
+void
+Core::fetchCriticalCdf(unsigned &budget)
+{
+    if (critWpStuck_)
+        return; // idle until the pending mispredict recovery redirects
+
+    while (budget > 0) {
+        if (critQ_.full() || dbq_->full())
+            return;
+
+        // Acquire (and copy) the trace for the block at the cursor.
+        if (!critTraceValid_) {
+            const cdf::BbTrace *t =
+                uopCache_->lookup(critFetchPc_, now_);
+            if (!t) {
+                ++statCdfExitsUopMiss_;
+                beginCdfExit();
+                return;
+            }
+            critTrace_ = *t;
+            critTraceValid_ = true;
+            critTraceIdx_ = 0;
+
+            if (!critOnPath_) {
+                // Wrong path: functionally walk the whole block now
+                // so the regular stream has records to consume.
+                // Commit records only if the whole block is walkable.
+                std::vector<WpRecord> walked;
+                walked.reserve(critTrace_.blockLength);
+                bool ok = true;
+                for (unsigned off = 0; off < critTrace_.blockLength;
+                     ++off) {
+                    const Addr pc = critTrace_.startPc + off;
+                    if (!oracle_.program().validPc(pc) ||
+                        oracle_.program().at(pc).isHalt()) {
+                        ok = false;
+                        break;
+                    }
+                    WpRecord w;
+                    w.rec = cdfWalker_.execute(pc);
+                    w.ts = critWpNextTs_ + off;
+                    w.critical = false;
+                    walked.push_back(w);
+                }
+                if (!ok) {
+                    critTraceValid_ = false;
+                    critWpStuck_ = true;
+                    return;
+                }
+                critWpNextTs_ += critTrace_.blockLength;
+                critWpBbBase_ = wpRecords_.size();
+                for (auto &w : walked)
+                    wpRecords_.push_back(std::move(w));
+                for (const auto &tu : critTrace_.uops) {
+                    wpRecords_[critWpBbBase_ + tu.offsetInBlock]
+                        .critical = true;
+                }
+            } else {
+                // On-path: publish this BB's criticality bits for
+                // the regular fetch stream.
+                BbInfo info;
+                info.baseTs = critFetchBaseTs_;
+                info.critBits.assign(critTrace_.blockLength, false);
+                for (const auto &tu : critTrace_.uops)
+                    info.critBits[tu.offsetInBlock] = true;
+                bbInfoQ_.push_back(std::move(info));
+            }
+        }
+
+        const unsigned len = critTrace_.blockLength;
+        const bool lastUopIsBranch = critTrace_.endsInBranch;
+
+        // Emit critical uops of the current trace. The terminating
+        // branch (if critical) is emitted during finalization below
+        // so its prediction state is attached atomically.
+        while (critTraceIdx_ < critTrace_.uops.size()) {
+            const cdf::TraceUop &tu = critTrace_.uops[critTraceIdx_];
+            if (lastUopIsBranch && tu.offsetInBlock == len - 1)
+                break; // leave the branch for finalization
+            if (budget == 0 || critQ_.full())
+                return;
+
+            isa::ExecRecord rec;
+            SeqNum ts;
+            if (critOnPath_) {
+                ts = critFetchBaseTs_ + tu.offsetInBlock;
+                if (!oracle_.hasRecord(ts)) {
+                    beginCdfExit(); // program ends inside this block
+                    return;
+                }
+                rec = oracle_.at(ts);
+                SIM_ASSERT(rec.pc ==
+                               critTrace_.startPc + tu.offsetInBlock,
+                           "critical fetch desynchronized from oracle");
+            } else {
+                const WpRecord &w =
+                    wpRecords_[critWpBbBase_ + tu.offsetInBlock];
+                rec = w.rec;
+                ts = w.ts;
+            }
+
+            DynInst *inst = makeInst(rec, ts, critOnPath_);
+            inst->critical = true;
+            inst->criticalStream = true;
+            inst->cdfFetched = true;
+            critQ_.push(inst);
+            --budget;
+            ++critTraceIdx_;
+        }
+
+        // Finalize the basic block.
+        if (!lastUopIsBranch) {
+            // Halt-terminated (or unchainable) block: stop fetching
+            // critical uops and drain (Section 3.6).
+            if (critOnPath_)
+                critCoveredUpTo_ = critFetchBaseTs_ + len;
+            beginCdfExit();
+            return;
+        }
+
+        const bool branchCritical =
+            !critTrace_.uops.empty() &&
+            critTrace_.uops.back().offsetInBlock == len - 1;
+        if (branchCritical && (budget == 0 || critQ_.full()))
+            return; // need a slot for the branch uop next cycle
+
+        // Predict the block-terminating branch exactly once
+        // (Section 3.3) and log it in the DBQ.
+        const Addr branchPc = critTrace_.branchPc;
+        const isa::Uop &buop = oracle_.program().at(branchPc);
+        SIM_ASSERT(buop.isBranch(), "trace branchPc is not a branch");
+
+        bp::BpCheckpoint ckpt = bp_.checkpoint();
+        bp::BranchPrediction pred = bp_.predict(branchPc, buop);
+
+        SeqNum branchTs;
+        bool misp = false;
+        if (critOnPath_) {
+            branchTs = critFetchBaseTs_ + len - 1;
+            if (!oracle_.hasRecord(branchTs)) {
+                beginCdfExit();
+                return;
+            }
+            const isa::ExecRecord &brec = oracle_.at(branchTs);
+            misp = pred.taken != brec.taken ||
+                   (pred.taken && pred.target != brec.nextPc);
+        } else {
+            branchTs =
+                wpRecords_[critWpBbBase_ + len - 1].ts;
+        }
+
+        dbq_->push({branchTs, pred.taken, pred.target});
+
+        if (branchCritical) {
+            isa::ExecRecord rec;
+            if (critOnPath_) {
+                rec = oracle_.at(branchTs);
+            } else {
+                rec = wpRecords_[critWpBbBase_ + len - 1].rec;
+            }
+            DynInst *binst = makeInst(rec, branchTs, critOnPath_);
+            binst->critical = true;
+            binst->criticalStream = true;
+            binst->cdfFetched = true;
+            binst->hasBpCheckpoint = true;
+            binst->bpCheckpoint = ckpt;
+            binst->predTaken = pred.taken;
+            binst->predTarget = pred.target;
+            binst->btbMissBubble = pred.btbMiss;
+            binst->tageInfo = pred.tageInfo;
+            binst->mispredicted = critOnPath_ && misp;
+            critQ_.push(binst);
+            --budget;
+            ++statBranches_;
+        } else {
+            dbqCkpts_.push_back(
+                {branchTs, ckpt, misp, pred.btbMiss, pred.tageInfo});
+        }
+
+        const Addr nextPc = pred.taken ? pred.target : branchPc + 1;
+        if (critOnPath_) {
+            critCoveredUpTo_ = critFetchBaseTs_ + len;
+            if (misp) {
+                critOnPath_ = false;
+                cdfWalker_.restart(oracle_.frontierRegs());
+                critWpNextTs_ = branchTs + 1;
+            } else {
+                critFetchBaseTs_ += len;
+            }
+        }
+        critFetchPc_ = nextPc;
+        critTraceValid_ = false;
+        critTraceIdx_ = 0;
+
+        // Chaining to the next trace costs one slot of uop-cache
+        // bandwidth even when the block contributed no critical
+        // uops; this also bounds the loop for all-empty regions.
+        if (budget > 0)
+            --budget;
+
+        if (pred.btbMiss) {
+            // Target resolves a stage later: charge a bubble.
+            budget = 0;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regular fetch stream in CDF mode
+// ---------------------------------------------------------------------
+
+void
+Core::fetchRegularCdf(unsigned &budget)
+{
+    while (budget > 0) {
+        if (frontQ_.full())
+            return;
+
+        // Graceful exit: the regular stream caught up with the
+        // critical fetch and no delayed branches remain.
+        if (cdfDraining_ && !regWrongPath_ &&
+            regNextTs_ >= critCoveredUpTo_ &&
+            wpConsumeIdx_ >= wpRecords_.size()) {
+            finishCdfExit();
+            return;
+        }
+
+        isa::ExecRecord rec;
+        SeqNum ts;
+        bool onPath;
+        bool critFlag = false;
+
+        if (!regWrongPath_) {
+            if (regNextTs_ >= critCoveredUpTo_)
+                return; // the critical fetch leads; wait
+            rec = oracle_.at(regNextTs_);
+            ts = regNextTs_;
+            onPath = true;
+
+            // Criticality bits from the BB info queue.
+            while (!bbInfoQ_.empty()) {
+                const BbInfo &bi = bbInfoQ_.front();
+                if (ts >= bi.baseTs + bi.critBits.size()) {
+                    bbInfoQ_.pop_front();
+                    continue;
+                }
+                if (ts >= bi.baseTs)
+                    critFlag = bi.critBits[ts - bi.baseTs];
+                break;
+            }
+        } else {
+            if (wpConsumeIdx_ >= wpRecords_.size())
+                return; // wait for the critical fetch's walker
+            const WpRecord &w = wpRecords_[wpConsumeIdx_];
+            rec = w.rec;
+            ts = w.ts;
+            critFlag = w.critical;
+            onPath = false;
+        }
+
+        // Branches need their DBQ entry; without it the stream
+        // cannot know which way to go yet.
+        cdf::DbqEntry dbqEntry{};
+        if (rec.uop.isBranch()) {
+            if (dbq_->empty())
+                return;
+            SIM_ASSERT(dbq_->front().ts == ts,
+                       "DBQ head out of sync: ", dbq_->front().ts,
+                       " vs ", ts);
+            dbqEntry = dbq_->front();
+        }
+
+        if (!icacheGate(rec.pc, budget))
+            return;
+
+        DynInst *inst = makeInst(rec, ts, onPath);
+        inst->cdfFetched = true;
+        inst->critical = critFlag;
+
+        if (rec.uop.isBranch()) {
+            dbq_->pop();
+            inst->predTaken = dbqEntry.taken;
+            inst->predTarget = dbqEntry.target;
+
+            if (!critFlag) {
+                // Non-critical branch: it executes in the backend
+                // via the regular stream and carries the checkpoint
+                // taken at critical-fetch prediction time.
+                auto it = std::find_if(
+                    dbqCkpts_.begin(), dbqCkpts_.end(),
+                    [&](const DbqCheckpoint &c) { return c.ts == ts; });
+                if (it != dbqCkpts_.end()) {
+                    inst->hasBpCheckpoint = true;
+                    inst->bpCheckpoint = it->ckpt;
+                    inst->btbMissBubble = it->btbMiss;
+                    dbqCkpts_.erase(it);
+                }
+                ++statBranches_;
+            }
+
+            if (onPath) {
+                const bool wrong =
+                    dbqEntry.taken != rec.taken ||
+                    (dbqEntry.taken && dbqEntry.target != rec.nextPc);
+                inst->mispredicted = !critFlag && wrong;
+                if (critFlag) {
+                    // The critical copy owns the mispredict flag.
+                    inst->mispredicted = false;
+                }
+                regNextTs_ = ts + 1;
+                if (wrong)
+                    regWrongPath_ = true;
+            }
+        } else {
+            if (onPath) {
+                regNextTs_ = ts + 1;
+                if (rec.uop.isHalt())
+                    fetchDoneHalt_ = true;
+            }
+        }
+        if (!onPath)
+            ++wpConsumeIdx_;
+
+        frontQ_.push(inst);
+        --budget;
+        if (rec.uop.isHalt() && onPath)
+            return;
+    }
+}
+
+} // namespace cdfsim::ooo

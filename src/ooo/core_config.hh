@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Configuration of the OoO core, the CDF mechanism and the Precise
+ * Runahead comparator. Defaults reproduce Table 1 of the paper
+ * (Intel Sunny-Cove-like core at 3.2 GHz).
+ */
+
+#ifndef CDFSIM_OOO_CORE_CONFIG_HH
+#define CDFSIM_OOO_CORE_CONFIG_HH
+
+#include <cstdint>
+
+#include "bp/predictor.hh"
+#include "cdf/critical_table.hh"
+#include "cdf/fill_buffer.hh"
+#include "cdf/mask_cache.hh"
+#include "cdf/partition.hh"
+#include "cdf/uop_cache.hh"
+#include "mem/hierarchy.hh"
+
+namespace cdfsim::ooo
+{
+
+/** Which execution paradigm the core runs. */
+enum class CoreMode : std::uint8_t
+{
+    Baseline,   //!< plain OoO core with prefetching
+    Cdf,        //!< Criticality Driven Fetch
+    Pre,        //!< Precise Runahead comparator
+};
+
+/** CDF-specific knobs (Sections 3.2-3.6). */
+struct CdfKnobs
+{
+    bool markCriticalBranches = true;   //!< ablation: Section 4.2
+    cdf::CriticalTableConfig loadTable{};
+    // Mispredicting ~15% of the time is already "hard to predict",
+    // so the increment outweighs the decay substantially.
+    cdf::CriticalTableConfig branchTable{
+        64, 2, /*strictBits=*/4, /*strictThreshold=*/10,
+        /*permissiveBits=*/3, /*permissiveThreshold=*/4,
+        /*missInc=*/6, /*hitDec=*/1};
+    cdf::FillBufferConfig fillBuffer{};
+    cdf::MaskCacheConfig maskCache{};
+    cdf::UopCacheConfig uopCache{};
+    cdf::PartitionConfig partition{};
+    unsigned dbqEntries = 256;          //!< Table 1
+    unsigned cmqEntries = 256;          //!< Table 1
+    /** Critical-density hysteresis for threshold-mode switching. */
+    double densitySwitchLow = 0.05;
+    double densitySwitchHigh = 0.30;
+    /** Cycles to wait after a CDF exit before re-entering. */
+    unsigned reentryCooldown = 64;
+};
+
+/** Precise Runahead knobs (Section 4.1 methodology). */
+struct PreKnobs
+{
+    /** Stalling-load tracking (replaces branch marking). */
+    cdf::CriticalTableConfig stallTable{
+        64, 2, /*strictBits=*/4, /*strictThreshold=*/4,
+        /*permissiveBits=*/2, /*permissiveThreshold=*/1,
+        /*missInc=*/2, /*hitDec=*/1};
+    /**
+     * PRE keeps whole stalling slices regardless of density (the
+     * density guard is a CDF policy for window expansion, which PRE
+     * does not do).
+     */
+    cdf::FillBufferConfig fillBuffer{1024, 10000, /*minDensity=*/0.0,
+                                     /*maxDensity=*/1.0,
+                                     /*useMaskCache=*/true};
+    cdf::MaskCacheConfig maskCache{};
+    cdf::UopCacheConfig uopCache{};
+    unsigned minStallCyclesToEnter = 4;  //!< hysteresis before runahead
+    unsigned bbScanLimit = 48; //!< fwd scan to align on a cached block
+    unsigned maxChainLoadsPerEpisode = 32;
+};
+
+/** The core proper (Table 1 baseline). */
+struct CoreConfig
+{
+    CoreMode mode = CoreMode::Baseline;
+
+    unsigned width = 6;            //!< fetch/decode/rename/retire width
+    unsigned issueWidth = 6;       //!< RS -> FU dispatch width
+    unsigned robSize = 352;
+    unsigned rsSize = 160;
+    unsigned lqSize = 128;
+    unsigned sqSize = 72;
+    unsigned physRegs = 512;
+    unsigned frontendDepth = 5;    //!< fetch-to-rename latency
+    unsigned fetchQueueSize = 64;
+    unsigned mispredictRedirect = 4; //!< extra redirect cycles on flush
+    unsigned btbMissPenalty = 2;
+    unsigned maxLoadsPerCycle = 3;
+    unsigned maxStoresPerCycle = 2;
+
+    /**
+     * Run CDF's criticality training (CCT + Fill Buffer + Mask
+     * Cache) in observation-only mode on a baseline core, so the
+     * ROB-occupancy breakdown of Fig. 1 can be measured.
+     */
+    bool observeCriticality = false;
+
+    CdfKnobs cdf{};
+    PreKnobs pre{};
+    mem::HierarchyConfig mem{};
+    bp::PredictorConfig bp{};
+
+    /** Watchdog: panic if retirement stalls this long (0 = off). */
+    Cycle deadlockCycles = 2'000'000;
+
+    /**
+     * Scale window resources for the Fig. 17 study: ROB, RS, LQ, SQ
+     * and PRF all multiply by @p factor (rounded), as the paper
+     * scales "other core structures proportionately".
+     */
+    void
+    scaleWindow(double factor)
+    {
+        auto scale = [factor](unsigned v) {
+            return static_cast<unsigned>(v * factor + 0.5);
+        };
+        robSize = scale(robSize);
+        rsSize = scale(rsSize);
+        lqSize = scale(lqSize);
+        sqSize = scale(sqSize);
+        physRegs = scale(physRegs);
+    }
+};
+
+} // namespace cdfsim::ooo
+
+#endif // CDFSIM_OOO_CORE_CONFIG_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The in-flight dynamic instruction record shared by every pipeline
+ * stage of the OoO core.
+ */
+
+#ifndef CDFSIM_OOO_DYN_INST_HH
+#define CDFSIM_OOO_DYN_INST_HH
+
+#include <cstdint>
+#include <list>
+
+#include "bp/predictor.hh"
+#include "common/types.hh"
+#include "isa/uop.hh"
+
+namespace cdfsim::ooo
+{
+
+/** Progress of an instruction through the backend. */
+enum class InstState : std::uint8_t
+{
+    Fetched,
+    Renamed,     //!< in ROB/RS (and LSQ if memory)
+    Issued,      //!< sent to an execution pipe
+    Completed,   //!< result produced; waiting to retire
+};
+
+/** One in-flight dynamic instruction. */
+struct DynInst
+{
+    // --- Identity ---
+    SeqNum fetchSeq = 0;     //!< unique, monotonic in fetch order
+    SeqNum ts = 0;           //!< program-order timestamp (oracle index)
+    Addr pc = 0;
+    isa::Uop uop;
+    bool onPath = true;      //!< false for wrong-path instructions
+
+    // --- CDF attributes ---
+    bool critical = false;     //!< marked critical by trace construction
+    bool cdfFetched = false;   //!< fetched while CDF mode was active
+    bool criticalStream = false; //!< travelled via the critical pipeline
+
+    // --- Functional outcome (bound at fetch) ---
+    Addr memAddr = 0;          //!< effective address (memory ops)
+    bool taken = false;        //!< actual branch direction
+    Addr actualTarget = 0;     //!< actual next PC
+    bool predTaken = false;
+    Addr predTarget = 0;
+    bool mispredicted = false; //!< prediction differed from outcome
+    bool btbMissBubble = false;
+    bp::TagePredictionInfo tageInfo; //!< for resolution-time training
+
+    // --- Rename state ---
+    RegId physDst = kInvalidReg;
+    RegId oldPhysDst = kInvalidReg;      //!< regular RAT prior mapping
+    RegId oldPhysDstCrit = kInvalidReg;  //!< critical RAT prior mapping
+    RegId physSrc1 = kInvalidReg;
+    RegId physSrc2 = kInvalidReg;
+    bool renamedRegular = false;   //!< updated the regular RAT
+    bool renamedCritical = false;  //!< updated the critical RAT
+    bool hasPoisonSnapshot = false;
+    std::uint64_t poisonSnapshot = 0; //!< poison bits pre-this-rename
+
+    // --- Execution state ---
+    InstState state = InstState::Fetched;
+    Cycle fetchCycle = 0;
+    Cycle renameCycle = 0;
+    Cycle readyAtRename = 0;   //!< earliest cycle rename may process it
+    Cycle completionCycle = kNeverCycle;
+    RegId extraWaitPhys = kInvalidReg; //!< e.g. store data for forwarding
+    bool llcMiss = false;      //!< this load went to DRAM
+    bool l1Miss = false;
+    SeqNum forwardSrcTs = 0;   //!< ts of SQ entry forwarded from (0: mem)
+    bool addrKnown = false;    //!< agen done (memory disambiguation)
+
+    // --- Recovery state ---
+    bool hasBpCheckpoint = false;
+    bp::BpCheckpoint bpCheckpoint;
+
+    /** Position in the core's master in-flight list (for O(1) erase). */
+    std::list<DynInst>::iterator selfIt;
+
+    bool isLoad() const { return uop.isLoad(); }
+    bool isStore() const { return uop.isStore(); }
+    bool isBranch() const { return uop.isBranch(); }
+    bool completed() const { return state == InstState::Completed; }
+
+    /** 8-byte-aligned word address for disambiguation. */
+    Addr memWord() const { return memAddr >> 3; }
+};
+
+} // namespace cdfsim::ooo
+
+#endif // CDFSIM_OOO_DYN_INST_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Reservation stations with oldest-first, critical-preferred
+ * selection (paper Section 3.5, "Issue and Dispatch").
+ */
+
+#ifndef CDFSIM_OOO_RS_HH
+#define CDFSIM_OOO_RS_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+#include "ooo/dyn_inst.hh"
+#include "ooo/rename.hh"
+
+namespace cdfsim::ooo
+{
+
+/** The reservation station pool. */
+class ReservationStations
+{
+  public:
+    explicit ReservationStations(unsigned size)
+        : size_(size), critCap_(0)
+    {
+        entries_.reserve(size);
+    }
+
+    unsigned size() const { return size_; }
+
+    /** Cap on critical uops resident in the RS (scales with ROB). */
+    void setCriticalCap(unsigned cap) { critCap_ = cap; }
+
+    bool
+    canInsert(bool critical) const
+    {
+        if (entries_.size() >= size_)
+            return false;
+        if (critical && critCount_ >= critCap_)
+            return false;
+        return true;
+    }
+
+    void
+    insert(DynInst *inst)
+    {
+        SIM_ASSERT(canInsert(inst->critical), "RS overflow");
+        entries_.push_back(inst);
+        if (inst->critical)
+            ++critCount_;
+    }
+
+    /**
+     * Select up to @p maxPick ready instructions: critical uops
+     * first, then oldest timestamp (Section 3.5). Selected entries
+     * are removed. @p ready decides readiness; @p accept may refuse
+     * an instruction (e.g. a load port limit), leaving it resident.
+     */
+    template <typename ReadyFn, typename AcceptFn>
+    unsigned
+    selectAndIssue(unsigned maxPick, ReadyFn &&ready, AcceptFn &&accept)
+    {
+        if (entries_.empty() || maxPick == 0)
+            return 0;
+
+        // Gather ready candidates and order: critical first, oldest
+        // first within a class.
+        scratch_.clear();
+        for (DynInst *inst : entries_) {
+            if (ready(inst))
+                scratch_.push_back(inst);
+        }
+        std::sort(scratch_.begin(), scratch_.end(),
+                  [](const DynInst *a, const DynInst *b) {
+                      if (a->critical != b->critical)
+                          return a->critical;
+                      return a->ts < b->ts;
+                  });
+
+        unsigned issued = 0;
+        for (DynInst *inst : scratch_) {
+            if (issued >= maxPick)
+                break;
+            if (!accept(inst))
+                continue;
+            remove(inst);
+            ++issued;
+        }
+        return issued;
+    }
+
+    void
+    remove(DynInst *inst)
+    {
+        auto it = std::find(entries_.begin(), entries_.end(), inst);
+        SIM_ASSERT(it != entries_.end(), "RS remove: not resident");
+        if (inst->critical)
+            --critCount_;
+        entries_.erase(it);
+    }
+
+    unsigned
+    flushYounger(SeqNum flushTs)
+    {
+        unsigned dropped = 0;
+        std::erase_if(entries_, [&](DynInst *inst) {
+            if (inst->ts > flushTs) {
+                if (inst->critical)
+                    --critCount_;
+                ++dropped;
+                return true;
+            }
+            return false;
+        });
+        return dropped;
+    }
+
+    std::size_t occupancy() const { return entries_.size(); }
+    std::size_t criticalOccupancy() const { return critCount_; }
+    bool full() const { return entries_.size() >= size_; }
+
+    void
+    clear()
+    {
+        entries_.clear();
+        critCount_ = 0;
+    }
+
+  private:
+    unsigned size_;
+    unsigned critCap_;
+    unsigned critCount_ = 0;
+    std::vector<DynInst *> entries_;
+    std::vector<DynInst *> scratch_;
+};
+
+} // namespace cdfsim::ooo
+
+#endif // CDFSIM_OOO_RS_HH

@@ -1,0 +1,67 @@
+#include "sim/simulator.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cdfsim::sim
+{
+
+Simulator::Simulator(const ooo::CoreConfig &config,
+                     workloads::Workload workload)
+    : config_(config), workload_(std::move(workload))
+{
+    if (workload_.init)
+        workload_.init(memory_);
+    core_ = std::make_unique<ooo::Core>(config_, workload_.program,
+                                        memory_, stats_);
+}
+
+Simulator::~Simulator() = default;
+
+RunResult
+Simulator::run(const RunSpec &spec)
+{
+    // Warmup: caches, predictors and (for CDF/PRE) the criticality
+    // tables and uop cache train here, mirroring the paper's
+    // 200M-instruction warmup at reduced scale.
+    if (spec.warmupInstrs > 0)
+        core_->run(spec.warmupInstrs, spec.maxCycles);
+    core_->resetMeasurement();
+
+    core_->run(core_->retired() + spec.measureInstrs, spec.maxCycles);
+
+    RunResult r;
+    r.workload = workload_.name;
+    r.mode = config_.mode;
+    r.core = core_->result();
+    r.energy = energy::Model::evaluate(config_, stats_,
+                                       r.core.cycles);
+    r.stats = stats_;
+    return r;
+}
+
+RunResult
+runWorkload(const std::string &workloadName, ooo::CoreMode mode,
+            const RunSpec &spec, const ooo::CoreConfig &base)
+{
+    ooo::CoreConfig config = base;
+    config.mode = mode;
+    Simulator sim(config, workloads::makeWorkload(workloadName));
+    return sim.run(spec);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values) {
+        SIM_ASSERT(v > 0.0, "geomean needs positive values");
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+} // namespace cdfsim::sim

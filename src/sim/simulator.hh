@@ -1,0 +1,83 @@
+/**
+ * @file
+ * High-level simulation facade: build a core for a workload, warm it
+ * up, measure, and report. This is the public API the examples and
+ * the benchmark harnesses drive.
+ */
+
+#ifndef CDFSIM_SIM_SIMULATOR_HH
+#define CDFSIM_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <string>
+
+#include "common/stats.hh"
+#include "energy/energy_model.hh"
+#include "ooo/core.hh"
+#include "workloads/workloads.hh"
+
+namespace cdfsim::sim
+{
+
+/** What to run and for how long. */
+struct RunSpec
+{
+    std::uint64_t warmupInstrs = 300'000;
+    std::uint64_t measureInstrs = 200'000;
+    Cycle maxCycles = 400'000'000; //!< hard safety stop
+};
+
+/** Everything a run produces. */
+struct RunResult
+{
+    std::string workload;
+    ooo::CoreMode mode = ooo::CoreMode::Baseline;
+    ooo::CoreResult core;
+    energy::EnergyReport energy;
+    StatRegistry stats; //!< snapshot of the counters
+};
+
+/**
+ * Owns one core + memory + stats for one workload run.
+ *
+ * Usage:
+ * @code
+ *   Simulator sim(config, workloads::makeWorkload("astar"));
+ *   RunResult r = sim.run({});
+ * @endcode
+ */
+class Simulator
+{
+  public:
+    Simulator(const ooo::CoreConfig &config,
+              workloads::Workload workload);
+    ~Simulator();
+
+    /** Warm up, reset stats, measure, and summarize. */
+    RunResult run(const RunSpec &spec);
+
+    ooo::Core &core() { return *core_; }
+    StatRegistry &stats() { return stats_; }
+
+  private:
+    ooo::CoreConfig config_;
+    workloads::Workload workload_;
+    StatRegistry stats_;
+    isa::MemoryImage memory_;
+    std::unique_ptr<ooo::Core> core_;
+};
+
+/**
+ * Convenience one-shot: run @p workloadName under @p mode with the
+ * default Table-1 configuration.
+ */
+RunResult runWorkload(const std::string &workloadName,
+                      ooo::CoreMode mode, const RunSpec &spec = {},
+                      const ooo::CoreConfig &base = {});
+
+/** Geometric mean of a vector of ratios. */
+double geomean(const std::vector<double> &values);
+
+} // namespace cdfsim::sim
+
+#endif // CDFSIM_SIM_SIMULATOR_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Synthetic SPEC-like workload kernels (the trace substitute).
+ *
+ * The paper evaluates memory-intensive SPEC CPU2006/2017 SimPoints.
+ * Without those traces, each benchmark is replaced by a kernel
+ * engineered to the characteristic that drives that benchmark's
+ * behaviour in the paper's evaluation (Section 4.2):
+ *
+ *  - astar/mcf/soplex/bzip: hard-to-predict branches on critical
+ *    paths, random or pointer-chased LLC misses;
+ *  - lbm/libquantum: streaming with short or prefetch-covered
+ *    stalls;
+ *  - bzip/nab: stall-causing loads spaced far apart;
+ *  - GemsFDTD/zeusmp/fotonik3d/roms: dense critical code where PRE's
+ *    unbounded prefetch distance beats CDF;
+ *  - leslie3d/sphinx3/wrf/parest/omnetpp: neutral mixes where
+ *    neither mechanism helps;
+ *  - CactuBSSN: chains that taint during runahead, producing PRE's
+ *    excess memory traffic.
+ *
+ * Kernels are deterministic given the seed.
+ */
+
+#ifndef CDFSIM_WORKLOADS_WORKLOADS_HH
+#define CDFSIM_WORKLOADS_WORKLOADS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "isa/memory_image.hh"
+#include "isa/program.hh"
+
+namespace cdfsim::workloads
+{
+
+/** A runnable workload: program plus initial memory contents. */
+struct Workload
+{
+    std::string name;
+    std::string description;
+    isa::Program program;
+    std::function<void(isa::MemoryImage &)> init;
+
+    /** Convenience: build a freshly initialized memory image. */
+    isa::MemoryImage
+    makeMemory() const
+    {
+        isa::MemoryImage mem;
+        if (init)
+            init(mem);
+        return mem;
+    }
+};
+
+/** The benchmark names used across Figs. 13-17. */
+std::vector<std::string> allWorkloadNames();
+
+/** Construct the named workload. Fatal on unknown names. */
+Workload makeWorkload(const std::string &name,
+                      std::uint64_t seed = 0x5EED);
+
+/**
+ * A random (but always-terminating) program over the full ISA, used
+ * by the end-to-end equivalence property tests. Programs consist of
+ * a bounded outer loop around randomized straight-line/branchy
+ * bodies with loads, stores and (occasionally) calls.
+ */
+Workload makeRandomWorkload(std::uint64_t seed,
+                            unsigned bodyBlocks = 8,
+                            unsigned iterations = 400);
+
+} // namespace cdfsim::workloads
+
+#endif // CDFSIM_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Unit tests for the branch prediction substrate: TAGE learning on
+ * characteristic patterns, the loop predictor, checkpoint/recovery,
+ * BTB, RAS, and the predictor facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bp/btb.hh"
+#include "bp/predictor.hh"
+#include "bp/tage.hh"
+#include "common/stats.hh"
+
+using namespace cdfsim;
+using namespace cdfsim::bp;
+
+namespace
+{
+
+/** Train & measure accuracy of TAGE on a pattern generator. */
+template <typename Gen>
+double
+accuracy(Tage &tage, Addr pc, Gen &&gen, int warmup, int measure)
+{
+    int correct = 0;
+    for (int i = 0; i < warmup + measure; ++i) {
+        const bool actual = gen(i);
+        auto ckpt = tage.checkpoint();
+        auto info = tage.predict(pc);
+        if (i >= warmup && info.taken == actual)
+            ++correct;
+        tage.update(pc, actual, info);
+        // Mispredicts rewind speculative history, as the pipeline's
+        // recovery would.
+        if (info.taken != actual)
+            tage.recover(ckpt, actual, pc);
+    }
+    return static_cast<double>(correct) / measure;
+}
+
+} // namespace
+
+TEST(Tage, LearnsAlwaysTaken)
+{
+    StatRegistry s;
+    Tage tage(TageConfig{}, s);
+    double acc =
+        accuracy(tage, 0x40, [](int) { return true; }, 50, 500);
+    EXPECT_GT(acc, 0.99);
+}
+
+TEST(Tage, LearnsAlternatingPattern)
+{
+    StatRegistry s;
+    Tage tage(TageConfig{}, s);
+    double acc = accuracy(
+        tage, 0x44, [](int i) { return (i & 1) == 0; }, 200, 500);
+    EXPECT_GT(acc, 0.95);
+}
+
+TEST(Tage, LearnsLongPeriodicPattern)
+{
+    // Period-12 pattern: needs global history, not just bimodal.
+    StatRegistry s;
+    Tage tage(TageConfig{}, s);
+    double acc = accuracy(
+        tage, 0x48, [](int i) { return (i % 12) < 5; }, 600, 1000);
+    EXPECT_GT(acc, 0.90);
+}
+
+TEST(Tage, RandomPatternStaysHard)
+{
+    StatRegistry s;
+    Tage tage(TageConfig{}, s);
+    // A xorshift-derived pseudo-random direction sequence.
+    std::uint64_t state = 0x1234567;
+    auto gen = [&state](int) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return (state & 1) != 0;
+    };
+    double acc = accuracy(tage, 0x4C, gen, 500, 2000);
+    EXPECT_LT(acc, 0.75) << "predictor 'learned' randomness";
+}
+
+TEST(Tage, LoopPredictorCatchesFixedTripCount)
+{
+    StatRegistry s;
+    TageConfig cfg;
+    Tage tage(cfg, s);
+    // Loop branch: taken 7 times, then not-taken, repeatedly. The
+    // loop predictor should eventually nail the exits.
+    int exits = 0, exitCorrect = 0;
+    for (int iter = 0; iter < 300; ++iter) {
+        for (int i = 0; i < 8; ++i) {
+            const bool actual = i < 7;
+            auto ckpt = tage.checkpoint();
+            auto info = tage.predict(0x50);
+            if (iter > 30 && !actual) {
+                ++exits;
+                if (!info.taken)
+                    ++exitCorrect;
+            }
+            tage.update(0x50, actual, info);
+            if (info.taken != actual)
+                tage.recover(ckpt, actual, 0x50);
+        }
+    }
+    EXPECT_GT(exits, 0);
+    EXPECT_GT(static_cast<double>(exitCorrect) / exits, 0.9);
+    EXPECT_GT(s.get("tage.loop_predictions"), 0u);
+}
+
+TEST(Tage, CheckpointRecoveryRestoresHistory)
+{
+    StatRegistry s;
+    Tage tage(TageConfig{}, s);
+    for (int i = 0; i < 64; ++i) {
+        auto info = tage.predict(0x60 + (i % 3));
+        tage.update(0x60 + (i % 3), i % 2 == 0, info);
+    }
+    auto ckpt = tage.checkpoint();
+    const auto hashBefore = tage.historyHash(32);
+
+    // Speculative predictions down a wrong path...
+    for (int i = 0; i < 10; ++i)
+        tage.predict(0x90 + i);
+    EXPECT_NE(tage.historyHash(32), hashBefore);
+
+    // ...recovered with the branch's actual outcome re-inserted.
+    tage.recover(ckpt, true, 0x60);
+    Tage reference(TageConfig{}, s);
+    // Cannot compare against a reference easily; instead verify the
+    // recovery is deterministic: recovering twice gives one state.
+    auto h1 = tage.historyHash(32);
+    tage.recover(ckpt, true, 0x60);
+    EXPECT_EQ(tage.historyHash(32), h1);
+
+    // And exact restore puts back the pre-prediction state.
+    tage.restore(ckpt);
+    EXPECT_EQ(tage.historyHash(32), hashBefore);
+}
+
+// --- BTB ---
+
+TEST(Btb, MissThenHitAfterUpdate)
+{
+    StatRegistry s;
+    Btb btb(64, s);
+    EXPECT_FALSE(btb.lookup(0x123).has_value());
+    btb.update(0x123, 0x456);
+    auto t = btb.lookup(0x123);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(*t, 0x456u);
+}
+
+TEST(Btb, ConflictEviction)
+{
+    StatRegistry s;
+    Btb btb(16, s);
+    btb.update(3, 100);
+    btb.update(3 + 16, 200); // same slot
+    EXPECT_FALSE(btb.lookup(3).has_value());
+    EXPECT_EQ(*btb.lookup(3 + 16), 200u);
+}
+
+// --- RAS ---
+
+TEST(Ras, LifoOrder)
+{
+    Ras ras(8);
+    ras.push(10);
+    ras.push(20);
+    ras.push(30);
+    EXPECT_EQ(ras.pop(), 30u);
+    EXPECT_EQ(ras.pop(), 20u);
+    EXPECT_EQ(ras.pop(), 10u);
+    EXPECT_EQ(ras.pop(), 0u); // empty
+}
+
+TEST(Ras, OverflowWrapsOldest)
+{
+    Ras ras(2);
+    ras.push(1);
+    ras.push(2);
+    ras.push(3); // overwrites 1
+    EXPECT_EQ(ras.pop(), 3u);
+    EXPECT_EQ(ras.pop(), 2u);
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(Ras, SnapshotRestore)
+{
+    Ras ras(8);
+    ras.push(11);
+    ras.push(22);
+    auto snap = ras.snapshot();
+    ras.pop();
+    ras.pop();
+    ras.restore(snap);
+    EXPECT_EQ(ras.pop(), 22u);
+    EXPECT_EQ(ras.pop(), 11u);
+}
+
+// --- BranchPredictor facade ---
+
+TEST(Predictor, DirectJumpPredictsTargetWithBtbMissBubble)
+{
+    StatRegistry s;
+    BranchPredictor bp(PredictorConfig{}, s);
+    isa::Uop jmp{isa::Opcode::Jmp, kInvalidReg, kInvalidReg,
+                 kInvalidReg, 77};
+    auto p1 = bp.predict(5, jmp);
+    EXPECT_TRUE(p1.taken);
+    EXPECT_EQ(p1.target, 77u);
+    EXPECT_TRUE(p1.btbMiss);
+
+    bp.update(5, jmp, true, 77, p1.tageInfo);
+    auto p2 = bp.predict(5, jmp);
+    EXPECT_FALSE(p2.btbMiss);
+}
+
+TEST(Predictor, CallRetPairUsesRas)
+{
+    StatRegistry s;
+    BranchPredictor bp(PredictorConfig{}, s);
+    isa::Uop call{isa::Opcode::Call, 10, kInvalidReg, kInvalidReg, 40};
+    isa::Uop ret{isa::Opcode::Ret, kInvalidReg, 10, kInvalidReg, 0};
+
+    auto pc_ = bp.predict(7, call);
+    EXPECT_EQ(pc_.target, 40u);
+    auto pr = bp.predict(45, ret);
+    EXPECT_TRUE(pr.taken);
+    EXPECT_EQ(pr.target, 8u); // return to call + 1
+}
+
+TEST(Predictor, ConditionalNotTakenFallsThrough)
+{
+    StatRegistry s;
+    BranchPredictor bp(PredictorConfig{}, s);
+    isa::Uop br{isa::Opcode::Beqz, kInvalidReg, 1, kInvalidReg, 99};
+    // Train not-taken.
+    for (int i = 0; i < 50; ++i) {
+        auto p = bp.predict(11, br);
+        bp.update(11, br, false, 12, p.tageInfo);
+    }
+    auto p = bp.predict(11, br);
+    EXPECT_FALSE(p.taken);
+    EXPECT_EQ(p.target, 12u);
+}
+
+TEST(Predictor, CheckpointRecoveryRestoresRas)
+{
+    StatRegistry s;
+    BranchPredictor bp(PredictorConfig{}, s);
+    isa::Uop call{isa::Opcode::Call, 10, kInvalidReg, kInvalidReg, 40};
+    isa::Uop ret{isa::Opcode::Ret, kInvalidReg, 10, kInvalidReg, 0};
+
+    bp.predict(7, call); // RAS: [8]
+    auto ckpt = bp.checkpoint();
+    bp.predict(45, ret); // speculatively pops
+    bp.recover(ckpt, true, 45);
+    auto pr = bp.predict(45, ret); // must pop 8 again
+    EXPECT_EQ(pr.target, 8u);
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the energy/area model: monotonicity in activity,
+ * area scaling with window size, CDF structure overheads near the
+ * paper's reported 3.2% area / ~2% energy, and report composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+#include "sim/simulator.hh"
+
+using namespace cdfsim;
+
+TEST(EnergyModel, MoreActivityMoreDynamicEnergy)
+{
+    ooo::CoreConfig cfg;
+    StatRegistry low, high;
+    low.counter("core.fetched_uops") = 1'000;
+    low.counter("core.issued_uops") = 1'000;
+    high.counter("core.fetched_uops") = 100'000;
+    high.counter("core.issued_uops") = 100'000;
+
+    auto rl = energy::Model::evaluate(cfg, low, 10'000);
+    auto rh = energy::Model::evaluate(cfg, high, 10'000);
+    EXPECT_GT(rh.dynamicUj, rl.dynamicUj);
+}
+
+TEST(EnergyModel, StaticEnergyScalesWithCycles)
+{
+    ooo::CoreConfig cfg;
+    StatRegistry s;
+    auto r1 = energy::Model::evaluate(cfg, s, 1'000'000);
+    auto r2 = energy::Model::evaluate(cfg, s, 2'000'000);
+    EXPECT_NEAR(r2.staticUj, 2.0 * r1.staticUj, 1e-9);
+}
+
+TEST(EnergyModel, AreaGrowsWithWindow)
+{
+    ooo::CoreConfig small;
+    ooo::CoreConfig big;
+    big.scaleWindow(2.0);
+    EXPECT_GT(energy::Model::coreArea(big),
+              energy::Model::coreArea(small));
+}
+
+TEST(EnergyModel, CdfAreaOverheadNearPaper)
+{
+    ooo::CoreConfig cfg;
+    const double frac = energy::Model::cdfArea(cfg) /
+                        energy::Model::coreArea(cfg);
+    // Paper: 3.2% total area overhead.
+    EXPECT_GT(frac, 0.015);
+    EXPECT_LT(frac, 0.06);
+}
+
+TEST(EnergyModel, DramEnergyTracksTraffic)
+{
+    ooo::CoreConfig cfg;
+    StatRegistry s;
+    s.counter("dram.reads") = 1'000;
+    auto r1 = energy::Model::evaluate(cfg, s, 1'000);
+    s.counter("dram.reads") = 10'000;
+    auto r2 = energy::Model::evaluate(cfg, s, 1'000);
+    EXPECT_NEAR(r2.dramUj, 10.0 * r1.dramUj, r1.dramUj * 0.01);
+}
+
+TEST(EnergyModel, ExtraAreaOnlyWhenCdfStructuresActive)
+{
+    ooo::CoreConfig cfg;
+    StatRegistry idle;
+    auto r1 = energy::Model::evaluate(cfg, idle, 1'000);
+    EXPECT_DOUBLE_EQ(r1.extraAreaMm2, 0.0);
+
+    StatRegistry active;
+    active.counter("uop_cache.fills") = 5;
+    auto r2 = energy::Model::evaluate(cfg, active, 1'000);
+    EXPECT_GT(r2.extraAreaMm2, 0.0);
+}
+
+TEST(EnergyModel, ComponentsSumToDynamicTotal)
+{
+    ooo::CoreConfig cfg;
+    StatRegistry s;
+    s.counter("core.fetched_uops") = 5'000;
+    s.counter("llc.accesses") = 700;
+    s.counter("dram.reads") = 50;
+    auto r = energy::Model::evaluate(cfg, s, 1'000);
+    double sum = 0.0;
+    for (const auto &c : r.components)
+        sum += c.dynamicUj;
+    EXPECT_NEAR(sum, r.dynamicUj, 1e-9);
+    EXPECT_NEAR(r.totalUj, r.dynamicUj + r.staticUj, 1e-9);
+}
+
+TEST(EnergyModel, EndToEndCdfStructureOverheadIsSmall)
+{
+    // On a kernel where CDF barely helps, the energy delta from the
+    // added structures alone should stay within a few percent
+    // (paper: ~2%).
+    // Warm long enough that cold-miss criticality has decayed (the
+    // figure harnesses use the same 300k-instruction warmup).
+    sim::RunSpec spec;
+    spec.warmupInstrs = 300'000;
+    spec.measureInstrs = 60'000;
+    auto base =
+        sim::runWorkload("parest", ooo::CoreMode::Baseline, spec);
+    auto cdf = sim::runWorkload("parest", ooo::CoreMode::Cdf, spec);
+    const double rel = cdf.energy.totalUj / base.energy.totalUj;
+    EXPECT_LT(rel, 1.12) << "CDF structure energy overhead too high";
+}

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Unit tests for the OoO backend structures: the partitioned ROB,
+ * the partitioned load/store queues with timestamp disambiguation,
+ * the reservation stations' critical-first selection, and the
+ * rename map / physical register file.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ooo/lsq.hh"
+#include "ooo/rename.hh"
+#include "ooo/rob.hh"
+#include "ooo/rs.hh"
+
+using namespace cdfsim;
+using namespace cdfsim::ooo;
+
+namespace
+{
+
+DynInst
+makeInst(SeqNum ts, bool critical = false)
+{
+    DynInst i;
+    i.ts = ts;
+    i.critical = critical;
+    return i;
+}
+
+DynInst
+makeMem(SeqNum ts, Addr addr, bool isStore, bool addrKnown = true)
+{
+    DynInst i;
+    i.ts = ts;
+    i.uop.op = isStore ? isa::Opcode::Store : isa::Opcode::Load;
+    if (isStore) {
+        i.uop.src1 = 1;
+        i.uop.src2 = 2;
+    } else {
+        i.uop.dst = 3;
+        i.uop.src1 = 1;
+    }
+    i.memAddr = addr;
+    i.addrKnown = addrKnown;
+    i.state = InstState::Issued;
+    return i;
+}
+
+} // namespace
+
+// --- Rob ---
+
+TEST(Rob, RetiresMinimumTimestampAcrossSections)
+{
+    Rob rob(16);
+    rob.setCriticalCap(8);
+    DynInst c1 = makeInst(5, true), c2 = makeInst(9, true);
+    DynInst n1 = makeInst(3), n2 = makeInst(7);
+    rob.insert(&c1, true);
+    rob.insert(&c2, true);
+    rob.insert(&n1, false);
+    rob.insert(&n2, false);
+
+    EXPECT_EQ(rob.head()->ts, 3u);
+    rob.popHead();
+    EXPECT_EQ(rob.head()->ts, 5u);
+    rob.popHead();
+    EXPECT_EQ(rob.head()->ts, 7u);
+    rob.popHead();
+    EXPECT_EQ(rob.head()->ts, 9u);
+}
+
+TEST(Rob, SectionCapacitiesEnforced)
+{
+    Rob rob(4);
+    rob.setCriticalCap(1);
+    DynInst c1 = makeInst(1, true), c2 = makeInst(2, true);
+    DynInst n1 = makeInst(3), n2 = makeInst(4), n3 = makeInst(5),
+            n4 = makeInst(6);
+    EXPECT_TRUE(rob.canInsert(true));
+    rob.insert(&c1, true);
+    EXPECT_FALSE(rob.canInsert(true)) << "critical cap is 1";
+    (void)c2;
+    rob.insert(&n1, false);
+    rob.insert(&n2, false);
+    rob.insert(&n3, false);
+    EXPECT_FALSE(rob.canInsert(false)) << "non-critical cap is 3";
+    (void)n4;
+}
+
+TEST(Rob, FlushYoungerTruncatesBothSections)
+{
+    Rob rob(16);
+    rob.setCriticalCap(8);
+    DynInst c1 = makeInst(2, true), c2 = makeInst(8, true);
+    DynInst n1 = makeInst(4), n2 = makeInst(6), n3 = makeInst(9);
+    rob.insert(&c1, true);
+    rob.insert(&c2, true);
+    rob.insert(&n1, false);
+    rob.insert(&n2, false);
+    rob.insert(&n3, false);
+    EXPECT_EQ(rob.flushYounger(5), 3u); // drops ts 6, 8, 9
+    EXPECT_EQ(rob.occupancy(), 2u);
+    EXPECT_EQ(rob.head()->ts, 2u);
+}
+
+TEST(Rob, OutOfOrderInsertPanics)
+{
+    Rob rob(8);
+    rob.setCriticalCap(4);
+    DynInst a = makeInst(5, true), b = makeInst(4, true);
+    rob.insert(&a, true);
+    EXPECT_THROW(rob.insert(&b, true), PanicError);
+}
+
+// --- Lsq ---
+
+TEST(Lsq, ForwardsFromYoungestOlderStore)
+{
+    Lsq lsq(8, 8);
+    lsq.sq().setCriticalCap(0);
+    lsq.lq().setCriticalCap(0);
+    DynInst s1 = makeMem(1, 0x100, true);
+    DynInst s2 = makeMem(3, 0x100, true);
+    DynInst s3 = makeMem(5, 0x200, true);
+    lsq.sq().insert(&s1, false);
+    lsq.sq().insert(&s2, false);
+    lsq.sq().insert(&s3, false);
+
+    DynInst ld = makeMem(7, 0x100, false);
+    bool unknown = false;
+    DynInst *st = lsq.forwardingStore(&ld, &unknown);
+    ASSERT_NE(st, nullptr);
+    EXPECT_EQ(st->ts, 3u) << "must pick the youngest older store";
+    EXPECT_FALSE(unknown);
+}
+
+TEST(Lsq, UnknownOlderStoreAddressReported)
+{
+    Lsq lsq(8, 8);
+    DynInst s1 = makeMem(1, 0, true, /*addrKnown=*/false);
+    lsq.sq().insert(&s1, false);
+    DynInst ld = makeMem(3, 0x100, false);
+    bool unknown = false;
+    EXPECT_EQ(lsq.forwardingStore(&ld, &unknown), nullptr);
+    EXPECT_TRUE(unknown);
+}
+
+TEST(Lsq, ViolatingLoadFoundOldestFirst)
+{
+    Lsq lsq(8, 8);
+    DynInst ld1 = makeMem(5, 0x100, false);
+    DynInst ld2 = makeMem(7, 0x100, false);
+    DynInst ld3 = makeMem(9, 0x300, false);
+    ld1.forwardSrcTs = 0; // read memory
+    ld2.forwardSrcTs = 0;
+    lsq.lq().insert(&ld1, false);
+    lsq.lq().insert(&ld2, false);
+    lsq.lq().insert(&ld3, false);
+
+    DynInst st = makeMem(4, 0x100, true);
+    DynInst *v = lsq.violatingLoad(&st);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->ts, 5u);
+}
+
+TEST(Lsq, LoadThatForwardedFromThisStoreIsNoViolation)
+{
+    Lsq lsq(8, 8);
+    DynInst ld = makeMem(5, 0x100, false);
+    ld.forwardSrcTs = 4; // got data from the checking store
+    lsq.lq().insert(&ld, false);
+    DynInst st = makeMem(4, 0x100, true);
+    EXPECT_EQ(lsq.violatingLoad(&st), nullptr);
+}
+
+TEST(Lsq, OlderLoadsAreNeverViolations)
+{
+    Lsq lsq(8, 8);
+    DynInst ld = makeMem(3, 0x100, false);
+    lsq.lq().insert(&ld, false);
+    DynInst st = makeMem(4, 0x100, true);
+    EXPECT_EQ(lsq.violatingLoad(&st), nullptr);
+}
+
+TEST(MemQueue, PartitionedCapacityAndRetire)
+{
+    MemQueue q(4);
+    q.setCriticalCap(2);
+    DynInst c = makeMem(1, 0, false);
+    c.critical = true;
+    DynInst n = makeMem(2, 0, false);
+    q.insert(&c, true);
+    q.insert(&n, false);
+    EXPECT_EQ(q.criticalOccupancy(), 1u);
+    q.retire(&c);
+    q.retire(&n);
+    EXPECT_EQ(q.occupancy(), 0u);
+}
+
+// --- ReservationStations ---
+
+TEST(Rs, CriticalFirstThenOldest)
+{
+    ReservationStations rs(8);
+    rs.setCriticalCap(8);
+    DynInst n1 = makeInst(1), n2 = makeInst(2);
+    DynInst c1 = makeInst(5, true);
+    n1.state = n2.state = c1.state = InstState::Renamed;
+    rs.insert(&n1);
+    rs.insert(&n2);
+    rs.insert(&c1);
+
+    std::vector<SeqNum> order;
+    rs.selectAndIssue(
+        2, [](DynInst *) { return true; },
+        [&](DynInst *i) {
+            order.push_back(i->ts);
+            return true;
+        });
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 5u) << "critical uop must issue first";
+    EXPECT_EQ(order[1], 1u) << "then oldest non-critical";
+    EXPECT_EQ(rs.occupancy(), 1u);
+}
+
+TEST(Rs, RejectedInstructionStaysResident)
+{
+    ReservationStations rs(4);
+    rs.setCriticalCap(4);
+    DynInst a = makeInst(1);
+    a.state = InstState::Renamed;
+    rs.insert(&a);
+    unsigned issued = rs.selectAndIssue(
+        4, [](DynInst *) { return true; },
+        [](DynInst *) { return false; });
+    EXPECT_EQ(issued, 0u);
+    EXPECT_EQ(rs.occupancy(), 1u);
+}
+
+TEST(Rs, CriticalCapBlocksOnlyCritical)
+{
+    ReservationStations rs(4);
+    rs.setCriticalCap(1);
+    DynInst c1 = makeInst(1, true), c2 = makeInst(2, true);
+    rs.insert(&c1);
+    EXPECT_FALSE(rs.canInsert(true));
+    EXPECT_TRUE(rs.canInsert(false));
+    (void)c2;
+}
+
+TEST(Rs, FlushYoungerMaintainsCriticalCount)
+{
+    ReservationStations rs(8);
+    rs.setCriticalCap(8);
+    DynInst c1 = makeInst(3, true), c2 = makeInst(7, true);
+    rs.insert(&c1);
+    rs.insert(&c2);
+    EXPECT_EQ(rs.flushYounger(5), 1u);
+    EXPECT_EQ(rs.criticalOccupancy(), 1u);
+    EXPECT_TRUE(rs.canInsert(true));
+}
+
+// --- RenameMap / PhysRegFile ---
+
+TEST(Rename, RenameAllocatesAndTracksOldMapping)
+{
+    PhysRegFile prf(128);
+    RenameMap rat;
+    isa::Uop add{isa::Opcode::Add, 5, 1, 2, 0};
+    auto r = rat.rename(add, prf);
+    EXPECT_EQ(r.physSrc1, 1u) << "boot mapping is identity";
+    EXPECT_EQ(r.physSrc2, 2u);
+    EXPECT_EQ(r.oldPhysDst, 5u);
+    EXPECT_NE(r.physDst, 5u);
+    EXPECT_EQ(rat.lookup(5), r.physDst);
+}
+
+TEST(Rename, UndoRestoresPriorMapping)
+{
+    PhysRegFile prf(128);
+    RenameMap rat;
+    isa::Uop add{isa::Opcode::Add, 5, 1, 2, 0};
+    auto r = rat.rename(add, prf);
+    rat.undo(5, r.oldPhysDst);
+    EXPECT_EQ(rat.lookup(5), 5u);
+}
+
+TEST(Rename, ReplayUpdatesWithoutAllocating)
+{
+    PhysRegFile prf(128);
+    RenameMap rat;
+    const auto freeBefore = prf.numFree();
+    RegId old = rat.replay(7, 99);
+    EXPECT_EQ(old, 7u);
+    EXPECT_EQ(rat.lookup(7), 99u);
+    EXPECT_EQ(prf.numFree(), freeBefore);
+}
+
+TEST(Rename, PoisonBitsSetCheckClearSnapshot)
+{
+    RenameMap rat;
+    rat.setPoison(3);
+    isa::Uop use{isa::Opcode::Add, 9, 3, 4, 0};
+    EXPECT_TRUE(rat.readsPoisoned(use));
+    const std::uint64_t snap = rat.poisonBits();
+    rat.clearPoison(3);
+    EXPECT_FALSE(rat.readsPoisoned(use));
+    rat.setPoisonBits(snap);
+    EXPECT_TRUE(rat.readsPoisoned(use));
+    rat.clearAllPoison();
+    EXPECT_EQ(rat.poisonBits(), 0u);
+}
+
+TEST(PhysRegFile, AllocateReleaseRoundTrip)
+{
+    PhysRegFile prf(80);
+    EXPECT_EQ(prf.numFree(), 80u - kNumArchRegs);
+    RegId p = prf.allocate();
+    EXPECT_EQ(prf.readyAt(p), kNeverCycle);
+    prf.setReadyAt(p, 42);
+    EXPECT_TRUE(prf.isReady(p, 42));
+    EXPECT_FALSE(prf.isReady(p, 41));
+    prf.release(p);
+    EXPECT_EQ(prf.numFree(), 80u - kNumArchRegs);
+}
+
+TEST(PhysRegFile, InvalidRegAlwaysReady)
+{
+    PhysRegFile prf(80);
+    EXPECT_TRUE(prf.isReady(kInvalidReg, 0));
+}
+
+TEST(PhysRegFile, ExhaustionPanics)
+{
+    PhysRegFile prf(kNumArchRegs + 9);
+    for (int i = 0; i < 9; ++i)
+        prf.allocate();
+    EXPECT_FALSE(prf.hasFree());
+    EXPECT_THROW(prf.allocate(), PanicError);
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the simulation facade: warmup/measurement separation,
+ * result plumbing, geomean, and the Fig. 17 window-scaling helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+using namespace cdfsim;
+
+TEST(Simulator, WarmupExcludedFromMeasurement)
+{
+    sim::RunSpec spec;
+    spec.warmupInstrs = 20'000;
+    spec.measureInstrs = 30'000;
+    sim::Simulator s(ooo::CoreConfig{},
+                     workloads::makeWorkload("parest"));
+    auto r = s.run(spec);
+    EXPECT_GE(r.core.retiredInstrs, 30'000u);
+    EXPECT_LT(r.core.retiredInstrs, 40'000u)
+        << "warmup instructions leaked into the measurement";
+    EXPECT_EQ(r.stats.get("core.retired_instrs"),
+              r.core.retiredInstrs);
+}
+
+TEST(Simulator, RunWorkloadAppliesModeAndConfig)
+{
+    sim::RunSpec spec;
+    spec.warmupInstrs = 50'000;
+    spec.measureInstrs = 20'000;
+    ooo::CoreConfig cfg;
+    cfg.robSize = 128;
+    cfg.physRegs = 256;
+    auto r = sim::runWorkload("parest", ooo::CoreMode::Baseline, spec,
+                              cfg);
+    EXPECT_EQ(r.mode, ooo::CoreMode::Baseline);
+    EXPECT_GT(r.core.ipc, 0.0);
+    EXPECT_GT(r.energy.totalUj, 0.0);
+}
+
+TEST(Simulator, EnergyReportPopulated)
+{
+    sim::RunSpec spec;
+    spec.warmupInstrs = 10'000;
+    spec.measureInstrs = 20'000;
+    auto r = sim::runWorkload("lbm", ooo::CoreMode::Baseline, spec);
+    EXPECT_GT(r.energy.dynamicUj, 0.0);
+    EXPECT_GT(r.energy.staticUj, 0.0);
+    EXPECT_GT(r.energy.dramUj, 0.0);
+    EXPECT_FALSE(r.energy.components.empty());
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(sim::geomean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(sim::geomean({1.0, 8.0}), 2.828427, 1e-5);
+    EXPECT_DOUBLE_EQ(sim::geomean({}), 0.0);
+    EXPECT_THROW(sim::geomean({1.0, -2.0}), PanicError);
+}
+
+TEST(CoreConfig, ScaleWindowScalesProportionally)
+{
+    ooo::CoreConfig cfg;
+    const unsigned rob = cfg.robSize;
+    const unsigned rs = cfg.rsSize;
+    cfg.scaleWindow(2.0);
+    EXPECT_EQ(cfg.robSize, rob * 2);
+    EXPECT_EQ(cfg.rsSize, rs * 2);
+    EXPECT_GT(cfg.physRegs, cfg.robSize + kNumArchRegs);
+}
+
+TEST(CoreConfig, TooFewPhysRegsIsFatal)
+{
+    ooo::CoreConfig cfg;
+    cfg.physRegs = cfg.robSize; // cannot cover ROB + arch state
+    auto w = workloads::makeWorkload("parest");
+    isa::MemoryImage mem = w.makeMemory();
+    StatRegistry stats;
+    EXPECT_THROW(ooo::Core(cfg, w.program, mem, stats), FatalError);
+}
+
+TEST(Simulator, ScaledDownCoreStillCorrect)
+{
+    sim::RunSpec spec;
+    spec.warmupInstrs = 20'000;
+    spec.measureInstrs = 30'000;
+    ooo::CoreConfig cfg;
+    cfg.scaleWindow(0.5);
+    for (auto mode :
+         {ooo::CoreMode::Baseline, ooo::CoreMode::Cdf}) {
+        auto r = sim::runWorkload("astar", mode, spec, cfg);
+        EXPECT_GE(r.core.retiredInstrs, 30'000u);
+    }
+}
