@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_maskcache.dir/bench_ablation_maskcache.cc.o"
+  "CMakeFiles/bench_ablation_maskcache.dir/bench_ablation_maskcache.cc.o.d"
+  "bench_ablation_maskcache"
+  "bench_ablation_maskcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_maskcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

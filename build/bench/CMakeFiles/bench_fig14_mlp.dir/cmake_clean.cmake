@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_mlp.dir/bench_fig14_mlp.cc.o"
+  "CMakeFiles/bench_fig14_mlp.dir/bench_fig14_mlp.cc.o.d"
+  "bench_fig14_mlp"
+  "bench_fig14_mlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

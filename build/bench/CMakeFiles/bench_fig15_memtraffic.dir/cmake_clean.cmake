@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_memtraffic.dir/bench_fig15_memtraffic.cc.o"
+  "CMakeFiles/bench_fig15_memtraffic.dir/bench_fig15_memtraffic.cc.o.d"
+  "bench_fig15_memtraffic"
+  "bench_fig15_memtraffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_memtraffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

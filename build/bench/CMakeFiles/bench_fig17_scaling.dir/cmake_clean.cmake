@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_scaling.dir/bench_fig17_scaling.cc.o"
+  "CMakeFiles/bench_fig17_scaling.dir/bench_fig17_scaling.cc.o.d"
+  "bench_fig17_scaling"
+  "bench_fig17_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

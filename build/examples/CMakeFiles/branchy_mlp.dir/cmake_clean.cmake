@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branchy_mlp.dir/branchy_mlp.cpp.o"
+  "CMakeFiles/branchy_mlp.dir/branchy_mlp.cpp.o.d"
+  "branchy_mlp"
+  "branchy_mlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branchy_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

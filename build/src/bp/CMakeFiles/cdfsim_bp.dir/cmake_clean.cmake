@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdfsim_bp.dir/predictor.cc.o"
+  "CMakeFiles/cdfsim_bp.dir/predictor.cc.o.d"
+  "CMakeFiles/cdfsim_bp.dir/tage.cc.o"
+  "CMakeFiles/cdfsim_bp.dir/tage.cc.o.d"
+  "libcdfsim_bp.a"
+  "libcdfsim_bp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdfsim_bp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

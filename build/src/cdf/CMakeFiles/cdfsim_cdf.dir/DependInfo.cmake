@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdf/critical_table.cc" "src/cdf/CMakeFiles/cdfsim_cdf.dir/critical_table.cc.o" "gcc" "src/cdf/CMakeFiles/cdfsim_cdf.dir/critical_table.cc.o.d"
+  "/root/repo/src/cdf/fill_buffer.cc" "src/cdf/CMakeFiles/cdfsim_cdf.dir/fill_buffer.cc.o" "gcc" "src/cdf/CMakeFiles/cdfsim_cdf.dir/fill_buffer.cc.o.d"
+  "/root/repo/src/cdf/mask_cache.cc" "src/cdf/CMakeFiles/cdfsim_cdf.dir/mask_cache.cc.o" "gcc" "src/cdf/CMakeFiles/cdfsim_cdf.dir/mask_cache.cc.o.d"
+  "/root/repo/src/cdf/partition.cc" "src/cdf/CMakeFiles/cdfsim_cdf.dir/partition.cc.o" "gcc" "src/cdf/CMakeFiles/cdfsim_cdf.dir/partition.cc.o.d"
+  "/root/repo/src/cdf/uop_cache.cc" "src/cdf/CMakeFiles/cdfsim_cdf.dir/uop_cache.cc.o" "gcc" "src/cdf/CMakeFiles/cdfsim_cdf.dir/uop_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cdfsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cdfsim_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

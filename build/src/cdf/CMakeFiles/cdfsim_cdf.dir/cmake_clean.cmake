@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdfsim_cdf.dir/critical_table.cc.o"
+  "CMakeFiles/cdfsim_cdf.dir/critical_table.cc.o.d"
+  "CMakeFiles/cdfsim_cdf.dir/fill_buffer.cc.o"
+  "CMakeFiles/cdfsim_cdf.dir/fill_buffer.cc.o.d"
+  "CMakeFiles/cdfsim_cdf.dir/mask_cache.cc.o"
+  "CMakeFiles/cdfsim_cdf.dir/mask_cache.cc.o.d"
+  "CMakeFiles/cdfsim_cdf.dir/partition.cc.o"
+  "CMakeFiles/cdfsim_cdf.dir/partition.cc.o.d"
+  "CMakeFiles/cdfsim_cdf.dir/uop_cache.cc.o"
+  "CMakeFiles/cdfsim_cdf.dir/uop_cache.cc.o.d"
+  "libcdfsim_cdf.a"
+  "libcdfsim_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdfsim_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

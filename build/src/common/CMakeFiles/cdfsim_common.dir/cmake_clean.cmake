@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdfsim_common.dir/stats.cc.o"
+  "CMakeFiles/cdfsim_common.dir/stats.cc.o.d"
+  "libcdfsim_common.a"
+  "libcdfsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdfsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

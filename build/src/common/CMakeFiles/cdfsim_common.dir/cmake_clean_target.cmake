@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcdfsim_common.a"
+)

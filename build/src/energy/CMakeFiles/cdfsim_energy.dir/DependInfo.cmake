@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/energy_model.cc" "src/energy/CMakeFiles/cdfsim_energy.dir/energy_model.cc.o" "gcc" "src/energy/CMakeFiles/cdfsim_energy.dir/energy_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cdfsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ooo/CMakeFiles/cdfsim_ooo.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cdfsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/bp/CMakeFiles/cdfsim_bp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdf/CMakeFiles/cdfsim_cdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cdfsim_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdfsim_energy.dir/energy_model.cc.o"
+  "CMakeFiles/cdfsim_energy.dir/energy_model.cc.o.d"
+  "libcdfsim_energy.a"
+  "libcdfsim_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdfsim_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

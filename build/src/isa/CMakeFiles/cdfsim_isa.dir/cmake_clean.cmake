@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdfsim_isa.dir/interpreter.cc.o"
+  "CMakeFiles/cdfsim_isa.dir/interpreter.cc.o.d"
+  "CMakeFiles/cdfsim_isa.dir/oracle.cc.o"
+  "CMakeFiles/cdfsim_isa.dir/oracle.cc.o.d"
+  "CMakeFiles/cdfsim_isa.dir/program.cc.o"
+  "CMakeFiles/cdfsim_isa.dir/program.cc.o.d"
+  "CMakeFiles/cdfsim_isa.dir/uop.cc.o"
+  "CMakeFiles/cdfsim_isa.dir/uop.cc.o.d"
+  "libcdfsim_isa.a"
+  "libcdfsim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdfsim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdfsim_mem.dir/cache.cc.o"
+  "CMakeFiles/cdfsim_mem.dir/cache.cc.o.d"
+  "CMakeFiles/cdfsim_mem.dir/dram.cc.o"
+  "CMakeFiles/cdfsim_mem.dir/dram.cc.o.d"
+  "CMakeFiles/cdfsim_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/cdfsim_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/cdfsim_mem.dir/prefetcher.cc.o"
+  "CMakeFiles/cdfsim_mem.dir/prefetcher.cc.o.d"
+  "libcdfsim_mem.a"
+  "libcdfsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdfsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ooo/core.cc" "src/ooo/CMakeFiles/cdfsim_ooo.dir/core.cc.o" "gcc" "src/ooo/CMakeFiles/cdfsim_ooo.dir/core.cc.o.d"
+  "/root/repo/src/ooo/core_backend.cc" "src/ooo/CMakeFiles/cdfsim_ooo.dir/core_backend.cc.o" "gcc" "src/ooo/CMakeFiles/cdfsim_ooo.dir/core_backend.cc.o.d"
+  "/root/repo/src/ooo/core_cdf.cc" "src/ooo/CMakeFiles/cdfsim_ooo.dir/core_cdf.cc.o" "gcc" "src/ooo/CMakeFiles/cdfsim_ooo.dir/core_cdf.cc.o.d"
+  "/root/repo/src/ooo/core_pre.cc" "src/ooo/CMakeFiles/cdfsim_ooo.dir/core_pre.cc.o" "gcc" "src/ooo/CMakeFiles/cdfsim_ooo.dir/core_pre.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cdfsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cdfsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cdfsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/bp/CMakeFiles/cdfsim_bp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdf/CMakeFiles/cdfsim_cdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

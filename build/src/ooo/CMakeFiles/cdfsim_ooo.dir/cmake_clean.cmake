@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdfsim_ooo.dir/core.cc.o"
+  "CMakeFiles/cdfsim_ooo.dir/core.cc.o.d"
+  "CMakeFiles/cdfsim_ooo.dir/core_backend.cc.o"
+  "CMakeFiles/cdfsim_ooo.dir/core_backend.cc.o.d"
+  "CMakeFiles/cdfsim_ooo.dir/core_cdf.cc.o"
+  "CMakeFiles/cdfsim_ooo.dir/core_cdf.cc.o.d"
+  "CMakeFiles/cdfsim_ooo.dir/core_pre.cc.o"
+  "CMakeFiles/cdfsim_ooo.dir/core_pre.cc.o.d"
+  "libcdfsim_ooo.a"
+  "libcdfsim_ooo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdfsim_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdfsim_sim.dir/simulator.cc.o"
+  "CMakeFiles/cdfsim_sim.dir/simulator.cc.o.d"
+  "libcdfsim_sim.a"
+  "libcdfsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdfsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdfsim_workloads.dir/workloads.cc.o"
+  "CMakeFiles/cdfsim_workloads.dir/workloads.cc.o.d"
+  "libcdfsim_workloads.a"
+  "libcdfsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdfsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cdf_structs.dir/test_cdf_structs.cc.o"
+  "CMakeFiles/test_cdf_structs.dir/test_cdf_structs.cc.o.d"
+  "test_cdf_structs"
+  "test_cdf_structs.pdb"
+  "test_cdf_structs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cdf_structs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_cdf.dir/test_core_cdf.cc.o"
+  "CMakeFiles/test_core_cdf.dir/test_core_cdf.cc.o.d"
+  "test_core_cdf"
+  "test_core_cdf.pdb"
+  "test_core_cdf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ooo_structs.dir/test_ooo_structs.cc.o"
+  "CMakeFiles/test_ooo_structs.dir/test_ooo_structs.cc.o.d"
+  "test_ooo_structs"
+  "test_ooo_structs.pdb"
+  "test_ooo_structs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ooo_structs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
