@@ -6,6 +6,7 @@
  * masks miss producers and violations rise.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_util.hh"
@@ -13,29 +14,39 @@
 using namespace cdfsim;
 
 int
-main()
+main(int argc, char **argv)
 {
-    auto spec = bench::figureRunSpec();
-    spec.measureInstrs = 120'000;
-    const std::vector<std::string> subset = {"astar", "soplex",
-                                             "sphinx3", "bzip2"};
+    bench::Harness h("bench_ablation_maskcache", argc, argv);
+    auto defaults = bench::figureRunSpec();
+    defaults.measureInstrs = 120'000;
+    const auto spec = h.spec(defaults);
+    const auto subset = h.workloads(
+        {"astar", "soplex", "sphinx3", "bzip2"});
+
+    const ooo::CoreConfig base;
+    ooo::CoreConfig off = base;
+    off.cdf.fillBuffer.useMaskCache = false;
+
+    for (const auto &wl : subset) {
+        h.add(wl, "base", ooo::CoreMode::Baseline, base, spec);
+        h.add(wl, "mask_on", ooo::CoreMode::Cdf, base, spec);
+        h.add(wl, "mask_off", ooo::CoreMode::Cdf, off, spec);
+    }
+    h.run();
 
     bench::printHeader(
         "Ablation: Mask Cache on/off",
         {"on_%", "on_viol", "off_%", "off_viol"});
 
     for (const auto &wl : subset) {
-        auto base =
-            sim::runWorkload(wl, ooo::CoreMode::Baseline, spec);
-        const double b = std::max(base.core.ipc, 1e-9);
-
-        ooo::CoreConfig on;
-        auto ron = sim::runWorkload(wl, ooo::CoreMode::Cdf, spec, on);
-        ooo::CoreConfig off;
-        off.cdf.fillBuffer.useMaskCache = false;
-        auto roff =
-            sim::runWorkload(wl, ooo::CoreMode::Cdf, spec, off);
-
+        if (!h.ok(wl, "base") || !h.ok(wl, "mask_on") ||
+            !h.ok(wl, "mask_off")) {
+            bench::printStatusRow(wl, 4, "halted");
+            continue;
+        }
+        const double b = std::max(h.get(wl, "base").core.ipc, 1e-9);
+        const auto &ron = h.get(wl, "mask_on");
+        const auto &roff = h.get(wl, "mask_off");
         bench::printRow(
             wl,
             {(ron.core.ipc / b - 1) * 100,
@@ -48,5 +59,5 @@ main()
     std::printf("\npaper: the mask cache reduces dependence "
                 "violations significantly;\nviolation overhead stays "
                 "under 2%% of cycles\n");
-    return 0;
+    return h.finish();
 }

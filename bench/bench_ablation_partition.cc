@@ -7,6 +7,7 @@
  * splits are phase-dependent.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_util.hh"
@@ -14,48 +15,63 @@
 using namespace cdfsim;
 
 int
-main()
+main(int argc, char **argv)
 {
-    auto spec = bench::figureRunSpec();
-    spec.measureInstrs = 120'000;
-    const std::vector<std::string> subset = {"astar", "soplex", "lbm",
-                                             "nab", "gems"};
+    bench::Harness h("bench_ablation_partition", argc, argv);
+    auto defaults = bench::figureRunSpec();
+    defaults.measureInstrs = 120'000;
+    const auto spec = h.spec(defaults);
+    const auto subset = h.workloads(
+        {"astar", "soplex", "lbm", "nab", "gems"});
+
+    const ooo::CoreConfig base;
+    const std::vector<std::pair<std::string, double>> statics = {
+        {"static50", 0.50}, {"static75", 0.75}, {"static90", 0.90}};
+
+    for (const auto &wl : subset) {
+        h.add(wl, "base", ooo::CoreMode::Baseline, base, spec);
+        h.add(wl, "dynamic", ooo::CoreMode::Cdf, base, spec);
+        for (const auto &[label, frac] : statics) {
+            ooo::CoreConfig st = base;
+            st.cdf.partition.dynamic = false;
+            st.cdf.partition.initialCriticalFrac = frac;
+            h.add(wl, label, ooo::CoreMode::Cdf, st, spec);
+        }
+    }
+    h.run();
 
     bench::printHeader(
         "Ablation: dynamic vs static window partitioning",
         {"dynamic_%", "static50_%", "static75_%", "static90_%"});
 
-    std::vector<std::vector<double>> cols(4);
+    const std::vector<std::string> variants = {
+        "dynamic", "static50", "static75", "static90"};
+    std::vector<std::vector<double>> cols(variants.size());
     for (const auto &wl : subset) {
-        auto base =
-            sim::runWorkload(wl, ooo::CoreMode::Baseline, spec);
-        const double b = std::max(base.core.ipc, 1e-9);
-
-        std::vector<double> row;
-        ooo::CoreConfig dyn;
-        row.push_back(
-            sim::runWorkload(wl, ooo::CoreMode::Cdf, spec, dyn)
-                .core.ipc /
-            b);
-        for (double frac : {0.50, 0.75, 0.90}) {
-            ooo::CoreConfig st;
-            st.cdf.partition.dynamic = false;
-            st.cdf.partition.initialCriticalFrac = frac;
-            row.push_back(
-                sim::runWorkload(wl, ooo::CoreMode::Cdf, spec, st)
-                    .core.ipc /
-                b);
+        bool rowOk = h.ok(wl, "base");
+        for (const auto &v : variants)
+            rowOk = rowOk && h.ok(wl, v);
+        if (!rowOk) {
+            bench::printStatusRow(wl, variants.size(), "halted");
+            continue;
         }
-        for (std::size_t i = 0; i < row.size(); ++i)
-            cols[i].push_back(std::max(row[i], 1e-9));
-        bench::printRow(wl, {(row[0] - 1) * 100, (row[1] - 1) * 100,
-                             (row[2] - 1) * 100,
-                             (row[3] - 1) * 100});
+        const double b = std::max(h.get(wl, "base").core.ipc, 1e-9);
+        std::vector<double> row, pct;
+        for (std::size_t i = 0; i < variants.size(); ++i) {
+            const double r = h.get(wl, variants[i]).core.ipc / b;
+            cols[i].push_back(std::max(r, 1e-9));
+            pct.push_back((r - 1) * 100);
+        }
+        bench::printRow(wl, pct);
     }
     std::printf("%-12s", "geomean");
-    for (auto &c : cols)
-        std::printf(" %11.1f%%", (sim::geomean(c) - 1) * 100);
+    for (std::size_t i = 0; i < cols.size(); ++i)
+        std::printf(" %11.1f%%",
+                    (bench::geomeanWarn(cols[i],
+                                        variants[i].c_str()) -
+                     1) *
+                        100);
     std::printf("\n\npaper: dynamic partitioning beats any static "
                 "split (phase-dependent optimum)\n");
-    return 0;
+    return h.finish();
 }

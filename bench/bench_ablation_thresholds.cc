@@ -7,62 +7,64 @@
  * favours permissive ones).
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_util.hh"
 
 using namespace cdfsim;
 
-namespace
-{
-
-double
-speedup(const std::string &wl, const ooo::CoreConfig &cfg,
-        const cdfsim::sim::RunSpec &spec)
-{
-    auto base = sim::runWorkload(wl, ooo::CoreMode::Baseline, spec);
-    auto cdf = sim::runWorkload(wl, ooo::CoreMode::Cdf, spec, cfg);
-    return cdf.core.ipc / std::max(base.core.ipc, 1e-9);
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
-    auto spec = bench::figureRunSpec();
-    spec.measureInstrs = 120'000;
-    const std::vector<std::string> subset = {"astar", "soplex", "lbm",
-                                             "bzip2", "sphinx3"};
+    bench::Harness h("bench_ablation_thresholds", argc, argv);
+    auto defaults = bench::figureRunSpec();
+    defaults.measureInstrs = 120'000;
+    const auto spec = h.spec(defaults);
+    const auto subset = h.workloads(
+        {"astar", "soplex", "lbm", "bzip2", "sphinx3"});
+
+    const ooo::CoreConfig base; // default: dynamic dual thresholds
+
+    // Strict-only: disable the density-driven switch by setting
+    // both switch points below any real density.
+    ooo::CoreConfig strict = base;
+    strict.cdf.densitySwitchLow = -1.0;
+    strict.cdf.densitySwitchHigh = -0.5;
+
+    // Permissive-only: make the strict counter behave like the
+    // permissive one.
+    ooo::CoreConfig perm = base;
+    perm.cdf.loadTable.strictBits = perm.cdf.loadTable.permissiveBits;
+    perm.cdf.loadTable.strictThreshold =
+        perm.cdf.loadTable.permissiveThreshold;
+    perm.cdf.branchTable.strictBits =
+        perm.cdf.branchTable.permissiveBits;
+    perm.cdf.branchTable.strictThreshold =
+        perm.cdf.branchTable.permissiveThreshold;
+
+    for (const auto &wl : subset) {
+        h.add(wl, "base", ooo::CoreMode::Baseline, base, spec);
+        h.add(wl, "dual", ooo::CoreMode::Cdf, base, spec);
+        h.add(wl, "strict", ooo::CoreMode::Cdf, strict, spec);
+        h.add(wl, "permissive", ooo::CoreMode::Cdf, perm, spec);
+    }
+    h.run();
 
     bench::printHeader("Ablation: Critical Count Table thresholds",
                        {"dual_%", "strict_%", "permissive_%"});
 
     std::vector<double> d, st, pe;
     for (const auto &wl : subset) {
-        ooo::CoreConfig dual; // default: dynamic dual thresholds
-
-        // Strict-only: disable the density-driven switch by setting
-        // both switch points below any real density.
-        ooo::CoreConfig strict;
-        strict.cdf.densitySwitchLow = -1.0;
-        strict.cdf.densitySwitchHigh = -0.5;
-
-        // Permissive-only: make the strict counter behave like the
-        // permissive one.
-        ooo::CoreConfig perm;
-        perm.cdf.loadTable.strictBits =
-            perm.cdf.loadTable.permissiveBits;
-        perm.cdf.loadTable.strictThreshold =
-            perm.cdf.loadTable.permissiveThreshold;
-        perm.cdf.branchTable.strictBits =
-            perm.cdf.branchTable.permissiveBits;
-        perm.cdf.branchTable.strictThreshold =
-            perm.cdf.branchTable.permissiveThreshold;
-
-        const double rd = speedup(wl, dual, spec);
-        const double rs = speedup(wl, strict, spec);
-        const double rp = speedup(wl, perm, spec);
+        if (!h.ok(wl, "base") || !h.ok(wl, "dual") ||
+            !h.ok(wl, "strict") || !h.ok(wl, "permissive")) {
+            bench::printStatusRow(wl, 3, "halted");
+            continue;
+        }
+        const double b = std::max(h.get(wl, "base").core.ipc, 1e-9);
+        const double rd = h.get(wl, "dual").core.ipc / b;
+        const double rs = h.get(wl, "strict").core.ipc / b;
+        const double rp = h.get(wl, "permissive").core.ipc / b;
         d.push_back(rd);
         st.push_back(rs);
         pe.push_back(rp);
@@ -70,12 +72,12 @@ main()
                              (rp - 1) * 100});
     }
     std::printf("%-12s %11.1f%% %11.1f%% %11.1f%%\n", "geomean",
-                (sim::geomean(d) - 1) * 100,
-                (sim::geomean(st) - 1) * 100,
-                (sim::geomean(pe) - 1) * 100);
+                (bench::geomeanWarn(d, "dual") - 1) * 100,
+                (bench::geomeanWarn(st, "strict") - 1) * 100,
+                (bench::geomeanWarn(pe, "permissive") - 1) * 100);
     std::printf("\npaper: stricter thresholds are usually better "
                 "(sparser critical stream),\nbut some benchmarks "
                 "need the permissive counters; the dual scheme "
                 "picks dynamically\n");
-    return 0;
+    return h.finish();
 }

@@ -14,26 +14,44 @@
 using namespace cdfsim;
 
 int
-main()
+main(int argc, char **argv)
 {
-    auto spec = bench::figureRunSpec();
-    spec.measureInstrs = 120'000;
+    bench::Harness h("bench_diagnostics", argc, argv);
+    auto defaults = bench::figureRunSpec();
+    defaults.measureInstrs = 120'000;
+    const auto spec = h.spec(defaults);
+    const auto names = h.workloads(workloads::allWorkloadNames());
 
-    for (const auto &name : workloads::allWorkloadNames()) {
+    const ooo::CoreConfig base;
+    for (const auto &name : names) {
+        h.add(name, "base", ooo::CoreMode::Baseline, base, spec);
+        h.add(name, "cdf", ooo::CoreMode::Cdf, base, spec);
+        h.add(name, "pre", ooo::CoreMode::Pre, base, spec);
+    }
+    h.run();
+
+    for (const auto &name : names) {
         std::printf("\n=== %s ===\n", name.c_str());
-        for (auto mode : {ooo::CoreMode::Baseline, ooo::CoreMode::Cdf,
-                          ooo::CoreMode::Pre}) {
-            auto r = sim::runWorkload(name, mode, spec);
-            const char *m = mode == ooo::CoreMode::Baseline ? "base"
-                            : mode == ooo::CoreMode::Cdf    ? "cdf "
-                                                            : "pre ";
+        for (const char *variant : {"base", "cdf", "pre"}) {
+            const auto &o = h.outcome(name, variant);
+            const auto &r = o.run;
+            const char *m = std::string(variant) == "base" ? "base"
+                            : std::string(variant) == "cdf"
+                                ? "cdf "
+                                : "pre ";
+            if (o.failed()) {
+                std::printf("%s status=%s %s\n", m,
+                            o.error.empty() ? r.status() : "error",
+                            o.error.c_str());
+                continue;
+            }
             const auto &s = r.stats;
             std::printf(
                 "%s ipc=%.3f mlp=%.2f llcMPKI=%.1f brMPKI=%.1f "
                 "fws=%.2f\n",
                 m, r.core.ipc, r.core.mlp, r.core.llcMpki,
                 r.core.branchMpki, r.core.fullWindowStallFraction);
-            if (mode == ooo::CoreMode::Cdf) {
+            if (r.mode == ooo::CoreMode::Cdf) {
                 std::printf(
                     "     episodes=%lu exitsUopMiss=%lu critRenamed=%lu"
                     " depViol=%lu memViol=%lu cdfFrac=%.2f\n",
@@ -56,7 +74,7 @@ main()
                     s.get("rob.partition_grows"),
                     s.get("rob.partition_shrinks"));
             }
-            if (mode == ooo::CoreMode::Pre) {
+            if (r.mode == ooo::CoreMode::Pre) {
                 std::printf(
                     "     raEpisodes=%lu raUops=%lu raLoads=%lu "
                     "walks=%lu traces=%lu dramRA=%lu\n",
@@ -69,5 +87,5 @@ main()
             }
         }
     }
-    return 0;
+    return h.finish();
 }

@@ -14,19 +14,31 @@
 using namespace cdfsim;
 
 int
-main()
+main(int argc, char **argv)
 {
-    auto spec = bench::figureRunSpec();
+    bench::Harness h("bench_fig01_rob_occupancy", argc, argv);
+    const auto spec = h.spec(bench::figureRunSpec());
+    const auto names = h.workloads(workloads::allWorkloadNames());
+
+    const ooo::CoreConfig base;
+    for (const auto &name : names) {
+        ooo::CoreConfig cfg = base;
+        cfg.observeCriticality = true;
+        h.add(name, "observe", ooo::CoreMode::Baseline, cfg, spec);
+    }
+    h.run();
+
     bench::printHeader("Fig. 1: ROB contents during full-window stalls",
                        {"stall_frac", "crit_frac", "noncrit_frac"});
 
     double sum = 0.0;
     unsigned counted = 0;
-    for (const auto &name : workloads::allWorkloadNames()) {
-        ooo::CoreConfig cfg;
-        cfg.observeCriticality = true;
-        auto r = sim::runWorkload(name, ooo::CoreMode::Baseline, spec,
-                                  cfg);
+    for (const auto &name : names) {
+        if (!h.ok(name, "observe")) {
+            bench::printStatusRow(name, 3, "halted");
+            continue;
+        }
+        const auto &r = h.get(name, "observe");
         const double crit = r.core.robCriticalFraction;
         bench::printRow(name, {r.core.fullWindowStallFraction, crit,
                                1.0 - crit});
@@ -38,9 +50,11 @@ main()
     if (counted > 0) {
         std::printf("%-12s %12s %12.3f %12.3f\n", "mean(stalling)",
                     "", sum / counted, 1.0 - sum / counted);
+        h.derived()["mean_critical_fraction_stalling"] =
+            sum / counted;
     }
     std::printf("\npaper: critical instructions are 10%%-40%% of the "
                 "footprint;\nthe stalled ROB holds more non-critical "
                 "than critical instructions\n");
-    return 0;
+    return h.finish();
 }

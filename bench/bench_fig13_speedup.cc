@@ -14,10 +14,24 @@
 using namespace cdfsim;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto spec = bench::figureRunSpec();
-    const auto names = workloads::allWorkloadNames();
+    bench::Harness h("bench_fig13_speedup", argc, argv);
+    const auto spec = h.spec(bench::figureRunSpec());
+    const auto names = h.workloads(workloads::allWorkloadNames());
+
+    // One shared base configuration; every variant copies it so a
+    // future base override flows into the ablations too.
+    const ooo::CoreConfig base;
+    for (const auto &name : names) {
+        h.add(name, "base", ooo::CoreMode::Baseline, base, spec);
+        h.add(name, "cdf", ooo::CoreMode::Cdf, base, spec);
+        h.add(name, "pre", ooo::CoreMode::Pre, base, spec);
+        ooo::CoreConfig noBr = base;
+        noBr.cdf.markCriticalBranches = false;
+        h.add(name, "cdf_nobr", ooo::CoreMode::Cdf, noBr, spec);
+    }
+    h.run();
 
     bench::printHeader(
         "Fig. 13: % IPC improvement over baseline",
@@ -25,32 +39,37 @@ main()
 
     std::vector<double> cdfRatios, preRatios, nobrRatios;
     for (const auto &name : names) {
-        auto base =
-            sim::runWorkload(name, ooo::CoreMode::Baseline, spec);
-        auto cdf = sim::runWorkload(name, ooo::CoreMode::Cdf, spec);
-        auto pre = sim::runWorkload(name, ooo::CoreMode::Pre, spec);
-
-        ooo::CoreConfig noBr;
-        noBr.cdf.markCriticalBranches = false;
-        auto nobr =
-            sim::runWorkload(name, ooo::CoreMode::Cdf, spec, noBr);
-
-        const double rc = cdf.core.ipc / base.core.ipc;
-        const double rp = pre.core.ipc / base.core.ipc;
-        const double rn = nobr.core.ipc / base.core.ipc;
+        const bool rowOk = h.ok(name, "base") && h.ok(name, "cdf") &&
+                           h.ok(name, "pre") &&
+                           h.ok(name, "cdf_nobr");
+        if (!rowOk) {
+            bench::printStatusRow(name, 4, "halted");
+            continue;
+        }
+        const auto &base_ = h.get(name, "base");
+        const double b = base_.core.ipc;
+        const double rc = h.get(name, "cdf").core.ipc / b;
+        const double rp = h.get(name, "pre").core.ipc / b;
+        const double rn = h.get(name, "cdf_nobr").core.ipc / b;
         cdfRatios.push_back(rc);
         preRatios.push_back(rp);
         nobrRatios.push_back(rn);
-        bench::printRow(name, {base.core.ipc, (rc - 1.0) * 100.0,
+        bench::printRow(name, {b, (rc - 1.0) * 100.0,
                                (rp - 1.0) * 100.0,
                                (rn - 1.0) * 100.0});
     }
 
+    const double gc = bench::geomeanWarn(cdfRatios, "cdf");
+    const double gp = bench::geomeanWarn(preRatios, "pre");
+    const double gn = bench::geomeanWarn(nobrRatios, "cdf_nobr");
     std::printf("%-12s %12s %11.1f%% %11.1f%% %11.1f%%\n", "geomean",
-                "", (sim::geomean(cdfRatios) - 1.0) * 100.0,
-                (sim::geomean(preRatios) - 1.0) * 100.0,
-                (sim::geomean(nobrRatios) - 1.0) * 100.0);
+                "", (gc - 1.0) * 100.0, (gp - 1.0) * 100.0,
+                (gn - 1.0) * 100.0);
     std::printf("\npaper: CDF +6.1%% geomean, PRE +2.6%%, "
                 "CDF w/o critical branches +3.8%%\n");
-    return 0;
+
+    h.derived()["geomean_cdf_speedup"] = gc;
+    h.derived()["geomean_pre_speedup"] = gp;
+    h.derived()["geomean_cdf_nobr_speedup"] = gn;
+    return h.finish();
 }

@@ -8,6 +8,7 @@
  * or dead-runahead traffic.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_util.hh"
@@ -15,37 +16,56 @@
 using namespace cdfsim;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto spec = bench::figureRunSpec();
+    bench::Harness h("bench_fig14_mlp", argc, argv);
+    const auto spec = h.spec(bench::figureRunSpec());
+    const auto names = h.workloads(workloads::allWorkloadNames());
+
+    const ooo::CoreConfig base;
+    for (const auto &name : names) {
+        h.add(name, "base", ooo::CoreMode::Baseline, base, spec);
+        h.add(name, "cdf", ooo::CoreMode::Cdf, base, spec);
+        h.add(name, "pre", ooo::CoreMode::Pre, base, spec);
+    }
+    h.run();
+
     bench::printHeader(
         "Fig. 14: MLP relative to baseline",
         {"base_mlp", "cdf_rel", "pre_rel", "pre_useless"});
 
     std::vector<double> cdfRel, preRel;
-    for (const auto &name : workloads::allWorkloadNames()) {
-        auto base =
-            sim::runWorkload(name, ooo::CoreMode::Baseline, spec);
-        auto cdf = sim::runWorkload(name, ooo::CoreMode::Cdf, spec);
-        auto pre = sim::runWorkload(name, ooo::CoreMode::Pre, spec);
+    for (const auto &name : names) {
+        if (!h.ok(name, "base") || !h.ok(name, "cdf") ||
+            !h.ok(name, "pre")) {
+            bench::printStatusRow(name, 4, "halted");
+            continue;
+        }
+        const auto &base_ = h.get(name, "base");
+        const auto &cdf = h.get(name, "cdf");
+        const auto &pre = h.get(name, "pre");
 
-        const double b = std::max(base.core.mlp, 1e-9);
+        const double b = std::max(base_.core.mlp, 1e-9);
         const double rc = std::max(cdf.core.mlp, 1e-9) / b;
         const double rp = std::max(pre.core.mlp, 1e-9) / b;
-        if (base.core.mlp > 0.05) {
+        if (base_.core.mlp > 0.05) {
             cdfRel.push_back(rc);
             preRel.push_back(rp);
         }
         bench::printRow(name,
-                        {base.core.mlp, rc, rp,
+                        {base_.core.mlp, rc, rp,
                          pre.core.mlp > 0
                              ? pre.core.uselessMlp / pre.core.mlp
                              : 0.0});
     }
-    std::printf("%-12s %12s %12.3f %12.3f\n", "geomean", "",
-                sim::geomean(cdfRel), sim::geomean(preRel));
+    const double gc = bench::geomeanWarn(cdfRel, "cdf MLP");
+    const double gp = bench::geomeanWarn(preRel, "pre MLP");
+    std::printf("%-12s %12s %12.3f %12.3f\n", "geomean", "", gc, gp);
     std::printf("\npaper: CDF's MLP gain is almost entirely useful "
                 "(correct addresses);\na large share of PRE's MLP "
                 "increase is wrong-path or incorrect chains\n");
-    return 0;
+
+    h.derived()["geomean_cdf_mlp_rel"] = gc;
+    h.derived()["geomean_pre_mlp_rel"] = gp;
+    return h.finish();
 }

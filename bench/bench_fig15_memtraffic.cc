@@ -7,6 +7,7 @@
  * the main stream, does not).
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_util.hh"
@@ -14,37 +15,57 @@
 using namespace cdfsim;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto spec = bench::figureRunSpec();
+    bench::Harness h("bench_fig15_memtraffic", argc, argv);
+    const auto spec = h.spec(bench::figureRunSpec());
+    const auto names = h.workloads(workloads::allWorkloadNames());
+
+    const ooo::CoreConfig base;
+    for (const auto &name : names) {
+        h.add(name, "base", ooo::CoreMode::Baseline, base, spec);
+        h.add(name, "cdf", ooo::CoreMode::Cdf, base, spec);
+        h.add(name, "pre", ooo::CoreMode::Pre, base, spec);
+    }
+    h.run();
+
     bench::printHeader(
         "Fig. 15: DRAM traffic relative to baseline",
         {"base_MB", "cdf_rel", "pre_rel", "pre_ra_reads"});
 
     std::vector<double> cdfRel, preRel;
-    for (const auto &name : workloads::allWorkloadNames()) {
-        auto base =
-            sim::runWorkload(name, ooo::CoreMode::Baseline, spec);
-        auto cdf = sim::runWorkload(name, ooo::CoreMode::Cdf, spec);
-        auto pre = sim::runWorkload(name, ooo::CoreMode::Pre, spec);
+    for (const auto &name : names) {
+        if (!h.ok(name, "base") || !h.ok(name, "cdf") ||
+            !h.ok(name, "pre")) {
+            bench::printStatusRow(name, 4, "halted");
+            continue;
+        }
+        const auto &base_ = h.get(name, "base");
+        const auto &cdf = h.get(name, "cdf");
+        const auto &pre = h.get(name, "pre");
 
-        const double b =
-            std::max<double>(static_cast<double>(base.core.dramBytes),
-                             1.0);
-        const double rc = static_cast<double>(cdf.core.dramBytes) / b;
-        const double rp = static_cast<double>(pre.core.dramBytes) / b;
+        const double b = std::max<double>(
+            static_cast<double>(base_.core.dramBytes), 1.0);
+        const double rc =
+            static_cast<double>(cdf.core.dramBytes) / b;
+        const double rp =
+            static_cast<double>(pre.core.dramBytes) / b;
         cdfRel.push_back(std::max(rc, 1e-9));
         preRel.push_back(std::max(rp, 1e-9));
         bench::printRow(
             name,
             {b / (1024.0 * 1024.0), rc, rp,
-             static_cast<double>(pre.stats.get("dram.runahead_reads"))});
+             static_cast<double>(
+                 pre.stats.get("dram.runahead_reads"))});
     }
-    const double gc = sim::geomean(cdfRel);
-    const double gp = sim::geomean(preRel);
+    const double gc = bench::geomeanWarn(cdfRel, "cdf traffic");
+    const double gp = bench::geomeanWarn(preRel, "pre traffic");
     std::printf("%-12s %12s %12.3f %12.3f\n", "geomean", "", gc, gp);
     std::printf("\nCDF traffic vs PRE traffic: %.1f%% (paper: CDF is "
                 "~4%% lower than PRE)\n",
-                (gc / gp - 1.0) * 100.0);
-    return 0;
+                gp > 0 ? (gc / gp - 1.0) * 100.0 : 0.0);
+
+    h.derived()["geomean_cdf_traffic_rel"] = gc;
+    h.derived()["geomean_pre_traffic_rel"] = gp;
+    return h.finish();
 }

@@ -7,6 +7,7 @@
  * traffic).
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_util.hh"
@@ -14,32 +15,51 @@
 using namespace cdfsim;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto spec = bench::figureRunSpec();
+    bench::Harness h("bench_fig16_energy", argc, argv);
+    const auto spec = h.spec(bench::figureRunSpec());
+    const auto names = h.workloads(workloads::allWorkloadNames());
+
+    const ooo::CoreConfig base;
+    for (const auto &name : names) {
+        h.add(name, "base", ooo::CoreMode::Baseline, base, spec);
+        h.add(name, "cdf", ooo::CoreMode::Cdf, base, spec);
+        h.add(name, "pre", ooo::CoreMode::Pre, base, spec);
+    }
+    h.run();
+
     bench::printHeader(
         "Fig. 16: energy relative to baseline",
         {"base_uJ", "cdf_rel", "pre_rel", "cdf_dram_rel"});
 
     std::vector<double> cdfRel, preRel;
-    for (const auto &name : workloads::allWorkloadNames()) {
-        auto base =
-            sim::runWorkload(name, ooo::CoreMode::Baseline, spec);
-        auto cdf = sim::runWorkload(name, ooo::CoreMode::Cdf, spec);
-        auto pre = sim::runWorkload(name, ooo::CoreMode::Pre, spec);
+    for (const auto &name : names) {
+        if (!h.ok(name, "base") || !h.ok(name, "cdf") ||
+            !h.ok(name, "pre")) {
+            bench::printStatusRow(name, 4, "halted");
+            continue;
+        }
+        const auto &base_ = h.get(name, "base");
+        const auto &cdf = h.get(name, "cdf");
+        const auto &pre = h.get(name, "pre");
 
-        const double b = std::max(base.energy.totalUj, 1e-9);
+        const double b = std::max(base_.energy.totalUj, 1e-9);
         const double rc = cdf.energy.totalUj / b;
         const double rp = pre.energy.totalUj / b;
         cdfRel.push_back(rc);
         preRel.push_back(rp);
         bench::printRow(name,
-                        {base.energy.totalUj, rc, rp,
+                        {base_.energy.totalUj, rc, rp,
                          cdf.energy.dramUj /
-                             std::max(base.energy.dramUj, 1e-9)});
+                             std::max(base_.energy.dramUj, 1e-9)});
     }
-    std::printf("%-12s %12s %12.3f %12.3f\n", "geomean", "",
-                sim::geomean(cdfRel), sim::geomean(preRel));
+    const double gc = bench::geomeanWarn(cdfRel, "cdf energy");
+    const double gp = bench::geomeanWarn(preRel, "pre energy");
+    std::printf("%-12s %12s %12.3f %12.3f\n", "geomean", "", gc, gp);
     std::printf("\npaper: CDF -3.5%% energy, PRE +3.7%%\n");
-    return 0;
+
+    h.derived()["geomean_cdf_energy_rel"] = gc;
+    h.derived()["geomean_pre_energy_rel"] = gp;
+    return h.finish();
 }

@@ -7,6 +7,7 @@
  * area gains less than CDF does.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_util.hh"
@@ -15,66 +16,95 @@
 using namespace cdfsim;
 
 int
-main()
+main(int argc, char **argv)
 {
-    auto spec = bench::figureRunSpec();
-    spec.measureInstrs = 120'000;
+    bench::Harness h("bench_fig17_scaling", argc, argv);
+    auto defaults = bench::figureRunSpec();
+    defaults.measureInstrs = 120'000;
+    const auto spec = h.spec(defaults);
 
     // Memory-sensitive subset: scaling studies on the benchmarks the
     // paper calls out (roms/fotonik benefit from larger windows).
-    const std::vector<std::string> subset = {
-        "astar", "soplex", "lbm", "fotonik", "roms", "mcf"};
-    const double factors[] = {0.5, 0.75, 1.0, 1.5, 2.0};
+    const auto subset = h.workloads(
+        {"astar", "soplex", "lbm", "fotonik", "roms", "mcf"});
+    const std::vector<double> factors = {0.5, 0.75, 1.0, 1.5, 2.0};
+
+    const ooo::CoreConfig base;
+    auto factorTag = [](double f) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2f", f);
+        return std::string(buf);
+    };
+
+    std::vector<unsigned> robSizes;
+    for (double f : factors) {
+        ooo::CoreConfig cfg = base;
+        cfg.scaleWindow(f);
+        robSizes.push_back(cfg.robSize);
+        for (const auto &name : subset) {
+            h.add(name, "base@" + factorTag(f),
+                  ooo::CoreMode::Baseline, cfg, spec);
+            h.add(name, "cdf@" + factorTag(f), ooo::CoreMode::Cdf,
+                  cfg, spec);
+        }
+    }
+
+    // Area-equivalent baseline: scale the window so the added area
+    // matches CDF's structure overhead.
+    const double cdfAreaFrac = energy::Model::cdfArea(base) /
+                               energy::Model::coreArea(base);
+    ooo::CoreConfig big = base;
+    big.scaleWindow(1.0 + cdfAreaFrac * 4.0); // window ~= area knob
+    for (const auto &name : subset)
+        h.add(name, "base_big", ooo::CoreMode::Baseline, big, spec);
+
+    h.run();
 
     std::printf("\n== Fig. 17: IPC and energy vs window size ==\n");
     std::printf("%-8s %8s %12s %12s %12s %12s\n", "scale", "rob",
                 "base_ipc", "cdf_ipc", "base_uJ", "cdf_uJ");
 
-    for (double f : factors) {
+    for (std::size_t fi = 0; fi < factors.size(); ++fi) {
+        const double f = factors[fi];
         std::vector<double> baseIpc, cdfIpc, baseUj, cdfUj;
-        unsigned rob = 0;
         for (const auto &name : subset) {
-            ooo::CoreConfig cfg;
-            cfg.scaleWindow(f);
-            rob = cfg.robSize;
-            auto base = sim::runWorkload(
-                name, ooo::CoreMode::Baseline, spec, cfg);
-            auto cdf =
-                sim::runWorkload(name, ooo::CoreMode::Cdf, spec, cfg);
-            baseIpc.push_back(std::max(base.core.ipc, 1e-9));
-            cdfIpc.push_back(std::max(cdf.core.ipc, 1e-9));
-            baseUj.push_back(std::max(base.energy.totalUj, 1e-9));
-            cdfUj.push_back(std::max(cdf.energy.totalUj, 1e-9));
+            const auto &b = h.get(name, "base@" + factorTag(f));
+            const auto &c = h.get(name, "cdf@" + factorTag(f));
+            if (!h.ok(name, "base@" + factorTag(f)) ||
+                !h.ok(name, "cdf@" + factorTag(f)))
+                continue;
+            baseIpc.push_back(std::max(b.core.ipc, 1e-9));
+            cdfIpc.push_back(std::max(c.core.ipc, 1e-9));
+            baseUj.push_back(std::max(b.energy.totalUj, 1e-9));
+            cdfUj.push_back(std::max(c.energy.totalUj, 1e-9));
         }
         std::printf("%-8.2f %8u %12.3f %12.3f %12.1f %12.1f\n", f,
-                    rob, sim::geomean(baseIpc), sim::geomean(cdfIpc),
-                    sim::geomean(baseUj), sim::geomean(cdfUj));
+                    robSizes[fi],
+                    bench::geomeanWarn(baseIpc, "base IPC"),
+                    bench::geomeanWarn(cdfIpc, "cdf IPC"),
+                    bench::geomeanWarn(baseUj, "base energy"),
+                    bench::geomeanWarn(cdfUj, "cdf energy"));
     }
 
-    // Area-equivalent baseline: scale the window so the added area
-    // matches CDF's structure overhead.
-    ooo::CoreConfig ref;
-    const double cdfAreaFrac = energy::Model::cdfArea(ref) /
-                               energy::Model::coreArea(ref);
-    ooo::CoreConfig big;
-    big.scaleWindow(1.0 + cdfAreaFrac * 4.0); // window ~= area knob
     std::printf("\nArea-equivalent scaled baseline (ROB %u):\n",
                 big.robSize);
     std::vector<double> bigRel, cdfRel;
     for (const auto &name : subset) {
-        auto base = sim::runWorkload(name, ooo::CoreMode::Baseline,
-                                     spec);
-        auto scaled = sim::runWorkload(
-            name, ooo::CoreMode::Baseline, spec, big);
-        auto cdf = sim::runWorkload(name, ooo::CoreMode::Cdf, spec);
-        bigRel.push_back(scaled.core.ipc /
-                         std::max(base.core.ipc, 1e-9));
-        cdfRel.push_back(cdf.core.ipc /
-                         std::max(base.core.ipc, 1e-9));
+        if (!h.ok(name, "base@1.00") || !h.ok(name, "base_big") ||
+            !h.ok(name, "cdf@1.00"))
+            continue;
+        const double b =
+            std::max(h.get(name, "base@1.00").core.ipc, 1e-9);
+        bigRel.push_back(h.get(name, "base_big").core.ipc / b);
+        cdfRel.push_back(h.get(name, "cdf@1.00").core.ipc / b);
     }
+    const double gb = bench::geomeanWarn(bigRel, "scaled baseline");
+    const double gc = bench::geomeanWarn(cdfRel, "cdf");
     std::printf("scaled baseline IPC: %+.1f%%, CDF IPC: %+.1f%% "
                 "(paper: +3.7%% vs +6.1%%)\n",
-                (sim::geomean(bigRel) - 1.0) * 100.0,
-                (sim::geomean(cdfRel) - 1.0) * 100.0);
-    return 0;
+                (gb - 1.0) * 100.0, (gc - 1.0) * 100.0);
+
+    h.derived()["area_equiv_baseline_speedup"] = gb;
+    h.derived()["cdf_speedup"] = gc;
+    return h.finish();
 }

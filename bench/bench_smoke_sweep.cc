@@ -1,0 +1,51 @@
+/**
+ * @file
+ * CI smoke sweep: every workload x {Baseline, CDF, PRE} at tiny
+ * instruction counts through sim::SweepRunner. Exits non-zero if
+ * any cell halts, truncates, or throws — catching deadlocks,
+ * exhausted programs and measurement-window regressions before they
+ * corrupt a figure. Registered as a ctest target.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace cdfsim;
+
+int
+main(int argc, char **argv)
+{
+    bench::Harness h("bench_smoke_sweep", argc, argv);
+
+    sim::RunSpec tiny;
+    tiny.warmupInstrs = 2'000;
+    tiny.measureInstrs = 3'000;
+    tiny.maxCycles = 5'000'000; // per phase; far beyond any sane run
+    const auto spec = h.spec(tiny);
+    const auto names = h.workloads(workloads::allWorkloadNames());
+
+    const ooo::CoreConfig base;
+    for (const auto &name : names) {
+        h.add(name, "base", ooo::CoreMode::Baseline, base, spec);
+        h.add(name, "cdf", ooo::CoreMode::Cdf, base, spec);
+        h.add(name, "pre", ooo::CoreMode::Pre, base, spec);
+    }
+    h.run();
+
+    std::size_t bad = 0;
+    for (const auto &o : h.outcomes()) {
+        if (!o.failed())
+            continue;
+        ++bad;
+        std::printf("FAIL %-12s %-8s %s%s%s\n",
+                    o.cell.workload.c_str(), o.cell.variant.c_str(),
+                    o.error.empty() ? o.run.status() : "error: ",
+                    o.error.c_str(),
+                    o.error.empty() ? "" : "");
+    }
+    std::printf("smoke sweep: %zu runs, %zu failed (%u threads)\n",
+                h.outcomes().size(), bad, h.threads());
+    const int jsonRc = h.finish();
+    return bad > 0 ? 1 : jsonRc;
+}

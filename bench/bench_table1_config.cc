@@ -2,19 +2,23 @@
  * @file
  * Regenerates Table 1: the simulation parameters of the baseline
  * core, caches, prefetcher, memory and the added CDF structures,
- * as configured in this reproduction.
+ * as configured in this reproduction. With --json, the parameters
+ * are also emitted machine-readably so config drift across PRs is
+ * diffable.
  */
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "energy/energy_model.hh"
 #include "ooo/core_config.hh"
 
 using namespace cdfsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("bench_table1_config", argc, argv);
     ooo::CoreConfig c;
     const auto &m = c.mem;
 
@@ -69,5 +73,39 @@ main()
     std::printf("CDF structures      %.2f (arb. mm^2) = %.1f%% "
                 "overhead (paper: 3.2%%)\n",
                 cdf, 100.0 * cdf / core);
-    return 0;
+
+    Json table = Json::object();
+    Json coreJ = Json::object();
+    coreJ["width"] = c.width;
+    coreJ["issue_width"] = c.issueWidth;
+    coreJ["rob_size"] = c.robSize;
+    coreJ["rs_size"] = c.rsSize;
+    coreJ["lq_size"] = c.lqSize;
+    coreJ["sq_size"] = c.sqSize;
+    coreJ["phys_regs"] = c.physRegs;
+    coreJ["frontend_depth"] = c.frontendDepth;
+    table["core"] = std::move(coreJ);
+    Json memJ = Json::object();
+    memJ["l1_size_bytes"] = m.l1i.sizeBytes;
+    memJ["l1_ways"] = m.l1i.ways;
+    memJ["llc_size_bytes"] = m.llc.sizeBytes;
+    memJ["llc_ways"] = m.llc.ways;
+    memJ["prefetcher_streams"] = m.prefetcher.streams;
+    memJ["dram_channels"] = m.dram.channels;
+    table["memory"] = std::move(memJ);
+    Json cdfJ = Json::object();
+    cdfJ["cct_entries"] = c.cdf.loadTable.entries;
+    cdfJ["mask_cache_entries"] = c.cdf.maskCache.entries;
+    cdfJ["uop_cache_lines"] = c.cdf.uopCache.capacityLines;
+    cdfJ["fill_buffer_capacity"] = c.cdf.fillBuffer.capacity;
+    cdfJ["dbq_entries"] = c.cdf.dbqEntries;
+    cdfJ["cmq_entries"] = c.cdf.cmqEntries;
+    table["cdf"] = std::move(cdfJ);
+    Json area = Json::object();
+    area["core_mm2"] = core;
+    area["cdf_mm2"] = cdf;
+    area["cdf_overhead_fraction"] = cdf / core;
+    table["area"] = std::move(area);
+    h.derived()["table1"] = std::move(table);
+    return h.finish();
 }

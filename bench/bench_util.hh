@@ -1,16 +1,38 @@
 /**
  * @file
- * Shared helpers for the figure-regeneration benchmark binaries.
+ * Shared harness for the figure-regeneration benchmark binaries.
+ *
+ * Every bench declares its run matrix as (workload, variant, mode,
+ * config, spec) cells, then executes them through sim::SweepRunner
+ * on a thread pool and reads results back by (workload, variant).
+ * All binaries share one CLI:
+ *
+ *   --threads N          worker threads (0 = hardware concurrency)
+ *   --workloads a,b,c    restrict to a comma-separated subset
+ *   --json out.json      write machine-readable results
+ *   --measure-instrs N   override the measurement window
+ *   --warmup-instrs N    override the warmup window
+ *   --max-cycles N       override the per-phase cycle budget
+ *
+ * Parallel and serial runs of the same matrix produce bit-identical
+ * results (and bit-identical JSON modulo the "timing" object).
  */
 
 #ifndef CDFSIM_BENCH_BENCH_UTIL_HH
 #define CDFSIM_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "sim/simulator.hh"
+#include "sim/sweep.hh"
 
 namespace cdfsim::bench
 {
@@ -46,6 +68,306 @@ printRow(const std::string &name, const std::vector<double> &vals,
         std::printf(fmt, v);
     std::printf("\n");
 }
+
+/** Row for a run that produced no trustworthy numbers. */
+inline void
+printStatusRow(const std::string &name, std::size_t cols,
+               const char *status)
+{
+    std::printf("%-12s", name.c_str());
+    for (std::size_t i = 0; i < cols; ++i)
+        std::printf(" %12s", status);
+    std::printf("\n");
+}
+
+/**
+ * Geomean over positive ratios only; prints a visible warning when
+ * halted/zero rows had to be excluded instead of aborting the whole
+ * figure (sim::geomean asserts on non-positive input).
+ */
+inline double
+geomeanWarn(const std::vector<double> &ratios, const char *what)
+{
+    std::size_t excluded = 0;
+    const double g = sim::geomeanPositive(ratios, &excluded);
+    if (excluded > 0) {
+        std::fprintf(stderr,
+                     "warning: excluded %zu non-positive %s ratio(s) "
+                     "from the geomean (halted or zero-IPC runs)\n",
+                     excluded, what);
+    }
+    if (ratios.size() == excluded) {
+        std::fprintf(stderr,
+                     "warning: no usable %s ratios; geomean is undefined\n",
+                     what);
+        return std::numeric_limits<double>::quiet_NaN();
+    }
+    return g;
+}
+
+/** The shared bench driver. */
+class Harness
+{
+  public:
+    Harness(std::string name, int argc, char **argv)
+        : name_(std::move(name)), derived_(Json::object())
+    {
+        parseArgs(argc, argv);
+        runner_ = sim::SweepRunner(threadsFlag_);
+    }
+
+    unsigned threads() const { return runner_.threads(); }
+
+    /** Apply the CLI instruction-count overrides to a bench default. */
+    sim::RunSpec
+    spec(sim::RunSpec defaults) const
+    {
+        if (measureInstrs_ != kUnset)
+            defaults.measureInstrs = measureInstrs_;
+        if (warmupInstrs_ != kUnset)
+            defaults.warmupInstrs = warmupInstrs_;
+        if (maxCycles_ != kUnset)
+            defaults.maxCycles = maxCycles_;
+        return defaults;
+    }
+
+    /** Apply the --workloads filter to the bench's workload list. */
+    std::vector<std::string>
+    workloads(const std::vector<std::string> &available) const
+    {
+        if (workloadFilter_.empty())
+            return available;
+        std::vector<std::string> out;
+        for (const auto &want : workloadFilter_) {
+            bool known = false;
+            for (const auto &a : available)
+                known = known || a == want;
+            if (!known) {
+                std::fprintf(stderr,
+                             "%s: unknown workload '%s' (not in this "
+                             "bench's set)\n",
+                             name_.c_str(), want.c_str());
+                std::exit(2);
+            }
+            out.push_back(want);
+        }
+        return out;
+    }
+
+    /** Queue one cell of the run matrix. */
+    void
+    add(const std::string &workload, const std::string &variant,
+        ooo::CoreMode mode, const ooo::CoreConfig &config,
+        const sim::RunSpec &spec)
+    {
+        sim::SweepCell cell;
+        cell.workload = workload;
+        cell.variant = variant;
+        cell.mode = mode;
+        cell.config = config;
+        cell.config.mode = mode;
+        cell.spec = spec;
+        index_[{workload, variant}] = cells_.size();
+        cells_.push_back(std::move(cell));
+    }
+
+    /** Execute every queued cell through the sweep runner. */
+    void
+    run()
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+        outcomes_ = runner_.runAll(cells_);
+        wallSeconds_ = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+        for (const auto &o : outcomes_) {
+            if (!o.error.empty()) {
+                std::fprintf(stderr, "warning: %s/%s failed: %s\n",
+                             o.cell.workload.c_str(),
+                             o.cell.variant.c_str(), o.error.c_str());
+            } else if (!o.run.ok()) {
+                std::fprintf(stderr, "warning: %s/%s run is %s\n",
+                             o.cell.workload.c_str(),
+                             o.cell.variant.c_str(), o.run.status());
+            }
+        }
+    }
+
+    const std::vector<sim::SweepOutcome> &outcomes() const
+    {
+        return outcomes_;
+    }
+
+    const sim::SweepOutcome &
+    outcome(const std::string &workload,
+            const std::string &variant) const
+    {
+        auto it = index_.find({workload, variant});
+        if (it == index_.end())
+            fatal("no sweep cell ", workload, "/", variant);
+        return outcomes_.at(it->second);
+    }
+
+    const sim::RunResult &
+    get(const std::string &workload, const std::string &variant) const
+    {
+        return outcome(workload, variant).run;
+    }
+
+    /** True when the (workload, variant) run can feed a figure. */
+    bool
+    ok(const std::string &workload, const std::string &variant) const
+    {
+        return !outcome(workload, variant).failed();
+    }
+
+    std::size_t
+    failures() const
+    {
+        std::size_t n = 0;
+        for (const auto &o : outcomes_)
+            n += o.failed() ? 1 : 0;
+        return n;
+    }
+
+    /** Bench-specific derived values for the JSON artifact. */
+    Json &derived() { return derived_; }
+
+    /**
+     * Write the JSON artifact when --json was given. Returns the
+     * process exit code (0; sweeps with failed cells still emit
+     * their partial figures, the rows are just marked).
+     */
+    int
+    finish() const
+    {
+        if (jsonPath_.empty())
+            return 0;
+        Json doc = Json::object();
+        doc["bench"] = name_;
+        doc["schema_version"] = 1;
+        Json runs = Json::array();
+        for (const auto &o : outcomes_)
+            runs.push_back(sim::toJson(o));
+        doc["runs"] = std::move(runs);
+        if (derived_.size() > 0)
+            doc["derived"] = derived_;
+        // Timing metadata lives in ONE object so results can be
+        // compared bit-identically across thread counts by dropping
+        // the "timing" member.
+        Json timing = Json::object();
+        timing["threads"] = runner_.threads();
+        timing["wall_seconds"] = wallSeconds_;
+        doc["timing"] = std::move(timing);
+
+        std::ofstream out(jsonPath_);
+        if (!out) {
+            std::fprintf(stderr, "%s: cannot write %s\n",
+                         name_.c_str(), jsonPath_.c_str());
+            return 1;
+        }
+        out << doc.dump(2);
+        std::fprintf(stderr, "wrote %s (%zu runs)\n",
+                     jsonPath_.c_str(), outcomes_.size());
+        return 0;
+    }
+
+  private:
+    static constexpr std::uint64_t kUnset =
+        std::numeric_limits<std::uint64_t>::max();
+
+    [[noreturn]] void
+    usage(int code) const
+    {
+        std::fprintf(
+            stderr,
+            "usage: %s [--threads N] [--workloads a,b,c] "
+            "[--json out.json]\n"
+            "          [--measure-instrs N] [--warmup-instrs N] "
+            "[--max-cycles N]\n",
+            name_.c_str());
+        std::exit(code);
+    }
+
+    void
+    parseArgs(int argc, char **argv)
+    {
+        auto value = [&](int &i, const char *flag) -> const char * {
+            const char *arg = argv[i];
+            const std::size_t n = std::strlen(flag);
+            if (std::strncmp(arg, flag, n) == 0 && arg[n] == '=')
+                return arg + n + 1;
+            if (++i >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n",
+                             name_.c_str(), flag);
+                usage(2);
+            }
+            return argv[i];
+        };
+        auto matches = [](const char *arg, const char *flag) {
+            const std::size_t n = std::strlen(flag);
+            return std::strncmp(arg, flag, n) == 0 &&
+                   (arg[n] == '\0' || arg[n] == '=');
+        };
+
+        for (int i = 1; i < argc; ++i) {
+            const char *arg = argv[i];
+            if (matches(arg, "--threads")) {
+                threadsFlag_ = static_cast<unsigned>(
+                    std::strtoul(value(i, "--threads"), nullptr, 10));
+            } else if (matches(arg, "--workloads")) {
+                splitCsv(value(i, "--workloads"), workloadFilter_);
+            } else if (matches(arg, "--json")) {
+                jsonPath_ = value(i, "--json");
+            } else if (matches(arg, "--measure-instrs")) {
+                measureInstrs_ = std::strtoull(
+                    value(i, "--measure-instrs"), nullptr, 10);
+            } else if (matches(arg, "--warmup-instrs")) {
+                warmupInstrs_ = std::strtoull(
+                    value(i, "--warmup-instrs"), nullptr, 10);
+            } else if (matches(arg, "--max-cycles")) {
+                maxCycles_ = std::strtoull(value(i, "--max-cycles"),
+                                           nullptr, 10);
+            } else if (std::strcmp(arg, "--help") == 0 ||
+                       std::strcmp(arg, "-h") == 0) {
+                usage(0);
+            } else {
+                std::fprintf(stderr, "%s: unknown flag '%s'\n",
+                             name_.c_str(), arg);
+                usage(2);
+            }
+        }
+    }
+
+    static void
+    splitCsv(const std::string &csv, std::vector<std::string> &out)
+    {
+        std::size_t start = 0;
+        while (start <= csv.size()) {
+            std::size_t comma = csv.find(',', start);
+            if (comma == std::string::npos)
+                comma = csv.size();
+            if (comma > start)
+                out.push_back(csv.substr(start, comma - start));
+            start = comma + 1;
+        }
+    }
+
+    std::string name_;
+    unsigned threadsFlag_ = 0;
+    std::vector<std::string> workloadFilter_;
+    std::string jsonPath_;
+    std::uint64_t measureInstrs_ = kUnset;
+    std::uint64_t warmupInstrs_ = kUnset;
+    std::uint64_t maxCycles_ = kUnset;
+
+    sim::SweepRunner runner_{1};
+    std::vector<sim::SweepCell> cells_;
+    std::map<std::pair<std::string, std::string>, std::size_t> index_;
+    std::vector<sim::SweepOutcome> outcomes_;
+    double wallSeconds_ = 0.0;
+    Json derived_;
+};
 
 } // namespace cdfsim::bench
 

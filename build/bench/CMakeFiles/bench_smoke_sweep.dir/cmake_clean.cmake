@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smoke_sweep.dir/bench_smoke_sweep.cc.o"
+  "CMakeFiles/bench_smoke_sweep.dir/bench_smoke_sweep.cc.o.d"
+  "bench_smoke_sweep"
+  "bench_smoke_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smoke_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -4,3 +4,5 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_sweep "/root/repo/build/bench/bench_smoke_sweep" "--threads" "0")
+set_tests_properties(smoke_sweep PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;23;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -203,15 +203,39 @@ examples/CMakeFiles/pointer_chase.dir/pointer_chase.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/json.hh \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
+ /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
+ /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
+ /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/tr1/special_function_util.h \
+ /usr/include/c++/12/tr1/bessel_function.tcc \
+ /usr/include/c++/12/tr1/beta_function.tcc \
+ /usr/include/c++/12/tr1/ell_integral.tcc \
+ /usr/include/c++/12/tr1/exp_integral.tcc \
+ /usr/include/c++/12/tr1/hypergeometric.tcc \
+ /usr/include/c++/12/tr1/legendre_function.tcc \
+ /usr/include/c++/12/tr1/modified_bessel_func.tcc \
+ /usr/include/c++/12/tr1/poly_hermite.tcc \
+ /usr/include/c++/12/tr1/poly_laguerre.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/logging.hh \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/energy/energy_model.hh /root/repo/src/ooo/core_config.hh \
  /root/repo/src/bp/predictor.hh /root/repo/src/bp/btb.hh \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/common/logging.hh /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/types.hh \
- /usr/include/c++/12/limits /root/repo/src/bp/tage.hh \
+ /root/repo/src/common/types.hh /root/repo/src/bp/tage.hh \
  /usr/include/c++/12/array /usr/include/c++/12/bitset \
  /root/repo/src/isa/uop.hh /root/repo/src/cdf/critical_table.hh \
  /root/repo/src/common/sat_counter.hh /root/repo/src/cdf/fill_buffer.hh \
@@ -229,7 +253,6 @@ examples/CMakeFiles/pointer_chase.dir/pointer_chase.cpp.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/cdf/fifos.hh \
  /root/repo/src/common/circular_queue.hh /usr/include/c++/12/cstddef \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/common/histogram.hh /root/repo/src/isa/oracle.hh \
  /root/repo/src/isa/interpreter.hh /root/repo/src/isa/memory_image.hh \
  /root/repo/src/isa/program.hh /root/repo/src/ooo/dyn_inst.hh \

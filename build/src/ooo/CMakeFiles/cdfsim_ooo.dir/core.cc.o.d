@@ -213,13 +213,36 @@ src/ooo/CMakeFiles/cdfsim_ooo.dir/core.cc.o: /root/repo/src/ooo/core.cc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/stats.hh \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/types.hh \
- /usr/include/c++/12/limits /root/repo/src/bp/tage.hh \
- /usr/include/c++/12/array /usr/include/c++/12/bitset \
- /root/repo/src/isa/uop.hh /root/repo/src/cdf/critical_table.hh \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/json.hh \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
+ /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
+ /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
+ /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/tr1/special_function_util.h \
+ /usr/include/c++/12/tr1/bessel_function.tcc \
+ /usr/include/c++/12/tr1/beta_function.tcc \
+ /usr/include/c++/12/tr1/ell_integral.tcc \
+ /usr/include/c++/12/tr1/exp_integral.tcc \
+ /usr/include/c++/12/tr1/hypergeometric.tcc \
+ /usr/include/c++/12/tr1/legendre_function.tcc \
+ /usr/include/c++/12/tr1/modified_bessel_func.tcc \
+ /usr/include/c++/12/tr1/poly_hermite.tcc \
+ /usr/include/c++/12/tr1/poly_laguerre.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/types.hh \
+ /root/repo/src/bp/tage.hh /usr/include/c++/12/array \
+ /usr/include/c++/12/bitset /root/repo/src/isa/uop.hh \
+ /root/repo/src/cdf/critical_table.hh \
  /root/repo/src/common/sat_counter.hh /root/repo/src/cdf/fifos.hh \
  /root/repo/src/common/circular_queue.hh /usr/include/c++/12/cstddef \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/cdf/fill_buffer.hh /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/cdf/mask_cache.hh /root/repo/src/cdf/uop_cache.hh \

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/cdfsim_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/cdfsim_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/sweep.cc" "src/sim/CMakeFiles/cdfsim_sim.dir/sweep.cc.o" "gcc" "src/sim/CMakeFiles/cdfsim_sim.dir/sweep.cc.o.d"
   )
 
 # Targets to which this target links.

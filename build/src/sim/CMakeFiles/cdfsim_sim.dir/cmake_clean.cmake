@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/cdfsim_sim.dir/simulator.cc.o"
   "CMakeFiles/cdfsim_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/cdfsim_sim.dir/sweep.cc.o"
+  "CMakeFiles/cdfsim_sim.dir/sweep.cc.o.d"
   "libcdfsim_sim.a"
   "libcdfsim_sim.pdb"
 )

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sweep.cc" "tests/CMakeFiles/test_sweep.dir/test_sweep.cc.o" "gcc" "tests/CMakeFiles/test_sweep.dir/test_sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cdfsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ooo/CMakeFiles/cdfsim_ooo.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdf/CMakeFiles/cdfsim_cdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cdfsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/bp/CMakeFiles/cdfsim_bp.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cdfsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/cdfsim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cdfsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cdfsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

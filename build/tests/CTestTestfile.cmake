@@ -15,4 +15,5 @@ include("/root/repo/build/tests/test_core_cdf[1]_include.cmake")
 include("/root/repo/build/tests/test_energy[1]_include.cmake")
 include("/root/repo/build/tests/test_workloads[1]_include.cmake")
 include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_sweep[1]_include.cmake")
 include("/root/repo/build/tests/test_ooo_structs[1]_include.cmake")

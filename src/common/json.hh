@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Minimal JSON document builder and writer.
+ *
+ * The sweep runner and the figure harnesses emit machine-readable
+ * results (BENCH_*.json) through this. Design goals, in order:
+ * deterministic output (object keys keep insertion order, numbers
+ * render via a fixed format) so two runs of the same sweep produce
+ * bit-identical files; no external dependencies; enough of JSON to
+ * serialize results (no parser — nothing in the simulator reads
+ * JSON back).
+ */
+
+#ifndef CDFSIM_COMMON_JSON_HH
+#define CDFSIM_COMMON_JSON_HH
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace cdfsim
+{
+
+/**
+ * A JSON value: null, bool, number (integer or double), string,
+ * array, or object. Objects preserve insertion order, which keeps
+ * serialized sweeps diffable across runs and PRs.
+ */
+class Json
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Int,
+        Uint,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    Json() : type_(Type::Null) {}
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(std::int64_t v) : type_(Type::Int), int_(v) {}
+    Json(int v) : Json(static_cast<std::int64_t>(v)) {}
+    Json(std::uint64_t v) : type_(Type::Uint), uint_(v) {}
+    Json(unsigned v) : Json(static_cast<std::uint64_t>(v)) {}
+    Json(double v) : type_(Type::Double), double_(v) {}
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+    Json(const char *s) : type_(Type::String), str_(s) {}
+
+    static Json
+    array()
+    {
+        Json j;
+        j.type_ = Type::Array;
+        return j;
+    }
+
+    static Json
+    object()
+    {
+        Json j;
+        j.type_ = Type::Object;
+        return j;
+    }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+
+    /** Append to an array. */
+    void
+    push_back(Json v)
+    {
+        SIM_ASSERT(type_ == Type::Array, "push_back on non-array Json");
+        items_.push_back(std::move(v));
+    }
+
+    /**
+     * Get-or-create the member called @p key of an object. New keys
+     * append (insertion order); existing keys return the prior slot.
+     */
+    Json &
+    operator[](const std::string &key)
+    {
+        SIM_ASSERT(type_ == Type::Object, "operator[] on non-object Json");
+        for (auto &kv : members_) {
+            if (kv.first == key)
+                return kv.second;
+        }
+        members_.emplace_back(key, Json());
+        return members_.back().second;
+    }
+
+    std::size_t
+    size() const
+    {
+        return type_ == Type::Array ? items_.size() : members_.size();
+    }
+
+    const std::vector<Json> &items() const { return items_; }
+
+    const std::vector<std::pair<std::string, Json>> &
+    members() const
+    {
+        return members_;
+    }
+
+    /** Serialize. @p indent < 0 means compact single-line output. */
+    std::string
+    dump(int indent = 2) const
+    {
+        std::string out;
+        write(out, indent, 0);
+        if (indent >= 0)
+            out.push_back('\n');
+        return out;
+    }
+
+    /** Escape @p s per RFC 8259 (quotes included). */
+    static std::string
+    escape(const std::string &s)
+    {
+        std::string out;
+        out.reserve(s.size() + 2);
+        out.push_back('"');
+        for (unsigned char c : s) {
+            switch (c) {
+              case '"': out += "\\\""; break;
+              case '\\': out += "\\\\"; break;
+              case '\b': out += "\\b"; break;
+              case '\f': out += "\\f"; break;
+              case '\n': out += "\\n"; break;
+              case '\r': out += "\\r"; break;
+              case '\t': out += "\\t"; break;
+              default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out.push_back(static_cast<char>(c));
+                }
+            }
+        }
+        out.push_back('"');
+        return out;
+    }
+
+  private:
+    void
+    write(std::string &out, int indent, int depth) const
+    {
+        switch (type_) {
+          case Type::Null: out += "null"; return;
+          case Type::Bool: out += bool_ ? "true" : "false"; return;
+          case Type::Int: out += std::to_string(int_); return;
+          case Type::Uint: out += std::to_string(uint_); return;
+          case Type::Double: out += formatDouble(double_); return;
+          case Type::String: out += escape(str_); return;
+          case Type::Array:
+          case Type::Object: break;
+        }
+
+        const bool obj = type_ == Type::Object;
+        const std::size_t n = obj ? members_.size() : items_.size();
+        out.push_back(obj ? '{' : '[');
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i > 0)
+                out.push_back(',');
+            newline(out, indent, depth + 1);
+            if (obj) {
+                out += escape(members_[i].first);
+                out += indent >= 0 ? ": " : ":";
+                members_[i].second.write(out, indent, depth + 1);
+            } else {
+                items_[i].write(out, indent, depth + 1);
+            }
+        }
+        if (n > 0)
+            newline(out, indent, depth);
+        out.push_back(obj ? '}' : ']');
+    }
+
+    static void
+    newline(std::string &out, int indent, int depth)
+    {
+        if (indent < 0)
+            return;
+        out.push_back('\n');
+        out.append(static_cast<std::size_t>(indent) *
+                       static_cast<std::size_t>(depth),
+                   ' ');
+    }
+
+    /**
+     * Shortest round-trippable decimal form: %.17g always
+     * round-trips an IEEE double, but try shorter forms first so
+     * 0.1 prints as "0.1" and not "0.10000000000000001".
+     */
+    static std::string
+    formatDouble(double v)
+    {
+        if (std::isnan(v))
+            return "null"; // JSON has no NaN
+        if (std::isinf(v))
+            return v > 0 ? "1e999" : "-1e999";
+        char buf[40];
+        for (int prec = 15; prec <= 17; ++prec) {
+            std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+            if (std::strtod(buf, nullptr) == v)
+                break;
+        }
+        std::string s(buf);
+        // Ensure a double never serializes as a bare integer, so the
+        // field's type is stable across values.
+        if (s.find_first_of(".eE") == std::string::npos)
+            s += ".0";
+        return s;
+    }
+
+    Type type_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double double_ = 0.0;
+    std::string str_;
+    std::vector<Json> items_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+} // namespace cdfsim
+
+#endif // CDFSIM_COMMON_JSON_HH

@@ -34,4 +34,13 @@ StatRegistry::dump() const
     return os.str();
 }
 
+Json
+StatRegistry::toJson() const
+{
+    Json j = Json::object();
+    for (const auto &kv : counters_)
+        j[kv.first] = kv.second;
+    return j;
+}
+
 } // namespace cdfsim

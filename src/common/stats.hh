@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
+
 namespace cdfsim
 {
 
@@ -66,6 +68,9 @@ class StatRegistry
 
     /** Render "name = value" lines, one per counter. */
     std::string dump() const;
+
+    /** Serialize every counter into a JSON object (sorted names). */
+    Json toJson() const;
 
   private:
     std::map<std::string, std::uint64_t> counters_;

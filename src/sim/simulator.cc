@@ -19,19 +19,42 @@ Simulator::Simulator(const ooo::CoreConfig &config,
 
 Simulator::~Simulator() = default;
 
+namespace
+{
+
+/** now + budget, saturating at kNeverCycle. */
+Cycle
+phaseDeadline(Cycle now, Cycle budget)
+{
+    return budget >= kNeverCycle - now ? kNeverCycle : now + budget;
+}
+
+} // namespace
+
 RunResult
 Simulator::run(const RunSpec &spec)
 {
+    RunResult r;
+
     // Warmup: caches, predictors and (for CDF/PRE) the criticality
     // tables and uop cache train here, mirroring the paper's
-    // 200M-instruction warmup at reduced scale.
-    if (spec.warmupInstrs > 0)
-        core_->run(spec.warmupInstrs, spec.maxCycles);
+    // 200M-instruction warmup at reduced scale. The cycle budget is
+    // relative to the phase start so warmup cycles never eat the
+    // measurement budget (and re-running an already-advanced
+    // Simulator keeps working).
+    if (spec.warmupInstrs > 0) {
+        const std::uint64_t target = core_->retired() + spec.warmupInstrs;
+        core_->run(target,
+                   phaseDeadline(core_->cycle(), spec.maxCycles));
+        r.warmupTruncated =
+            !core_->halted() && core_->retired() < target;
+    }
     core_->resetMeasurement();
 
-    core_->run(core_->retired() + spec.measureInstrs, spec.maxCycles);
-
-    RunResult r;
+    const std::uint64_t target = core_->retired() + spec.measureInstrs;
+    core_->run(target, phaseDeadline(core_->cycle(), spec.maxCycles));
+    r.halted = core_->halted();
+    r.truncated = !r.halted && core_->retired() < target;
     r.workload = workload_.name;
     r.mode = config_.mode;
     r.core = core_->result();
@@ -39,6 +62,18 @@ Simulator::run(const RunSpec &spec)
                                        r.core.cycles);
     r.stats = stats_;
     return r;
+}
+
+const char *
+RunResult::status() const
+{
+    if (halted)
+        return "halted";
+    if (warmupTruncated)
+        return "warmup_truncated";
+    if (truncated)
+        return "truncated";
+    return "ok";
 }
 
 RunResult
@@ -62,6 +97,21 @@ geomean(const std::vector<double> &values)
         logSum += std::log(v);
     }
     return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+double
+geomeanPositive(const std::vector<double> &values,
+                std::size_t *excluded)
+{
+    std::vector<double> kept;
+    kept.reserve(values.size());
+    for (double v : values) {
+        if (v > 0.0)
+            kept.push_back(v);
+    }
+    if (excluded)
+        *excluded = values.size() - kept.size();
+    return geomean(kept);
 }
 
 } // namespace cdfsim::sim

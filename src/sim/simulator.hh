@@ -24,7 +24,14 @@ struct RunSpec
 {
     std::uint64_t warmupInstrs = 300'000;
     std::uint64_t measureInstrs = 200'000;
-    Cycle maxCycles = 400'000'000; //!< hard safety stop
+    /**
+     * Hard safety stop, PER PHASE: warmup and measurement each get
+     * this many cycles of budget relative to the cycle they start
+     * at, so a slow warmup can never eat into the measurement
+     * window. A phase that exhausts its budget marks the run
+     * truncated in RunResult instead of silently under-measuring.
+     */
+    Cycle maxCycles = 400'000'000;
 };
 
 /** Everything a run produces. */
@@ -35,6 +42,23 @@ struct RunResult
     ooo::CoreResult core;
     energy::EnergyReport energy;
     StatRegistry stats; //!< snapshot of the counters
+
+    /** The program ran out of instructions before measurement ended. */
+    bool halted = false;
+    /** Warmup hit its cycle budget before warmupInstrs retired. */
+    bool warmupTruncated = false;
+    /** Measurement hit its cycle budget before measureInstrs retired. */
+    bool truncated = false;
+
+    /** True when the measurement window is trustworthy. */
+    bool
+    ok() const
+    {
+        return !halted && !truncated && !warmupTruncated;
+    }
+
+    /** Short status tag for tables/logs: "ok", "halted", ... */
+    const char *status() const;
 };
 
 /**
@@ -75,8 +99,17 @@ RunResult runWorkload(const std::string &workloadName,
                       ooo::CoreMode mode, const RunSpec &spec = {},
                       const ooo::CoreConfig &base = {});
 
-/** Geometric mean of a vector of ratios. */
+/** Geometric mean of a vector of ratios (all must be positive). */
 double geomean(const std::vector<double> &values);
+
+/**
+ * Geometric mean over only the positive entries. Non-positive
+ * entries (a halted/zero-IPC run yields a 0 ratio) are excluded
+ * rather than asserting; @p excluded, when non-null, receives how
+ * many were dropped so callers can warn visibly.
+ */
+double geomeanPositive(const std::vector<double> &values,
+                       std::size_t *excluded = nullptr);
 
 } // namespace cdfsim::sim
 

@@ -1,0 +1,174 @@
+#include "sim/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace cdfsim::sim
+{
+
+SweepRunner::SweepRunner(unsigned threads) : threads_(threads)
+{
+    if (threads_ == 0) {
+        threads_ = std::thread::hardware_concurrency();
+        if (threads_ == 0)
+            threads_ = 1;
+    }
+}
+
+std::vector<SweepOutcome>
+SweepRunner::runAll(const std::vector<SweepCell> &cells,
+                    const SweepProgressFn &progress) const
+{
+    std::vector<SweepOutcome> outcomes(cells.size());
+
+    std::atomic<std::size_t> nextCell{0};
+    std::atomic<std::size_t> doneCells{0};
+    std::mutex progressMutex;
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                nextCell.fetch_add(1, std::memory_order_relaxed);
+            if (i >= cells.size())
+                return;
+
+            SweepOutcome &out = outcomes[i];
+            out.cell = cells[i];
+            out.cell.config.mode = out.cell.mode;
+            try {
+                Simulator simulator(
+                    out.cell.config,
+                    workloads::makeWorkload(out.cell.workload));
+                out.run = simulator.run(out.cell.spec);
+            } catch (const std::exception &e) {
+                out.error = e.what();
+            }
+            out.run.workload = out.cell.workload;
+            out.run.mode = out.cell.mode;
+
+            const std::size_t done =
+                doneCells.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (progress) {
+                std::lock_guard<std::mutex> lock(progressMutex);
+                progress(out, done, cells.size());
+            }
+        }
+    };
+
+    const unsigned n = static_cast<unsigned>(
+        std::min<std::size_t>(threads_, cells.size()));
+    if (n <= 1) {
+        worker();
+        return outcomes;
+    }
+
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (unsigned t = 0; t < n; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    return outcomes;
+}
+
+const char *
+toString(ooo::CoreMode mode)
+{
+    switch (mode) {
+      case ooo::CoreMode::Baseline: return "baseline";
+      case ooo::CoreMode::Cdf: return "cdf";
+      case ooo::CoreMode::Pre: return "pre";
+    }
+    return "unknown";
+}
+
+Json
+toJson(const RunSpec &spec)
+{
+    Json j = Json::object();
+    j["warmup_instrs"] = spec.warmupInstrs;
+    j["measure_instrs"] = spec.measureInstrs;
+    j["max_cycles"] = spec.maxCycles;
+    return j;
+}
+
+Json
+toJson(const ooo::CoreResult &core)
+{
+    Json j = Json::object();
+    j["retired_instrs"] = core.retiredInstrs;
+    j["cycles"] = core.cycles;
+    j["ipc"] = core.ipc;
+    j["mlp"] = core.mlp;
+    j["useless_mlp"] = core.uselessMlp;
+    j["dram_bytes"] = core.dramBytes;
+    j["branch_mpki"] = core.branchMpki;
+    j["llc_mpki"] = core.llcMpki;
+    j["cdf_mode_fraction"] = core.cdfModeFraction;
+    j["full_window_stall_fraction"] = core.fullWindowStallFraction;
+    j["rob_critical_fraction"] = core.robCriticalFraction;
+    return j;
+}
+
+Json
+toJson(const energy::EnergyReport &energy)
+{
+    Json j = Json::object();
+    j["core_area_mm2"] = energy.coreAreaMm2;
+    j["extra_area_mm2"] = energy.extraAreaMm2;
+    j["dynamic_uj"] = energy.dynamicUj;
+    j["static_uj"] = energy.staticUj;
+    j["dram_uj"] = energy.dramUj;
+    j["total_uj"] = energy.totalUj;
+    Json comps = Json::object();
+    for (const auto &c : energy.components)
+        comps[c.name] = c.dynamicUj;
+    j["components_uj"] = std::move(comps);
+    return j;
+}
+
+Json
+toJson(const RunResult &run)
+{
+    Json j = Json::object();
+    j["workload"] = run.workload;
+    j["mode"] = toString(run.mode);
+    j["status"] = run.status();
+    j["halted"] = run.halted;
+    j["warmup_truncated"] = run.warmupTruncated;
+    j["truncated"] = run.truncated;
+    j["core"] = toJson(run.core);
+    j["energy"] = toJson(run.energy);
+    j["stats"] = run.stats.toJson();
+    return j;
+}
+
+Json
+toJson(const SweepOutcome &outcome)
+{
+    Json j = Json::object();
+    j["workload"] = outcome.cell.workload;
+    j["variant"] = outcome.cell.variant;
+    j["mode"] = toString(outcome.cell.mode);
+    j["spec"] = toJson(outcome.cell.spec);
+    if (!outcome.error.empty()) {
+        j["status"] = "error";
+        j["error"] = outcome.error;
+        return j;
+    }
+    Json run = toJson(outcome.run);
+    // workload/mode already identify the row at this level.
+    j["status"] = outcome.run.status();
+    j["halted"] = outcome.run.halted;
+    j["warmup_truncated"] = outcome.run.warmupTruncated;
+    j["truncated"] = outcome.run.truncated;
+    j["core"] = std::move(run["core"]);
+    j["energy"] = std::move(run["energy"]);
+    j["stats"] = std::move(run["stats"]);
+    return j;
+}
+
+} // namespace cdfsim::sim

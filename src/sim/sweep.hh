@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Parallel sweep execution over a declarative run matrix.
+ *
+ * Every figure/ablation harness is the same shape: a matrix of
+ * (workload x core mode x config overrides x run spec) cells, each
+ * of which builds one independent Simulator and produces one
+ * RunResult. Cells share no mutable state (each owns its memory
+ * image, stat registry and PRNGs), so SweepRunner fans them out
+ * over a thread pool and the results are bit-identical to a serial
+ * run — only wall-clock time changes.
+ *
+ * This header also owns the JSON serialization of results
+ * (toJson), so sweeps can be persisted as diffable BENCH_*.json
+ * artifacts and tracked across PRs.
+ */
+
+#ifndef CDFSIM_SIM_SWEEP_HH
+#define CDFSIM_SIM_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "sim/simulator.hh"
+
+namespace cdfsim::sim
+{
+
+/** One cell of the run matrix. */
+struct SweepCell
+{
+    std::string workload;            //!< workloads::makeWorkload name
+    std::string variant = "default"; //!< harness label, e.g. "cdf_nobr"
+    ooo::CoreMode mode = ooo::CoreMode::Baseline;
+    ooo::CoreConfig config{}; //!< mode is overwritten from `mode`
+    RunSpec spec{};
+};
+
+/** A cell plus everything running it produced. */
+struct SweepOutcome
+{
+    SweepCell cell;
+    RunResult run;
+    /** Non-empty when the cell died with a panic/fatal error. */
+    std::string error;
+
+    bool failed() const { return !error.empty() || !run.ok(); }
+};
+
+/** Called after each cell completes (serialized; any thread). */
+using SweepProgressFn = std::function<void(
+    const SweepOutcome &outcome, std::size_t done, std::size_t total)>;
+
+/**
+ * Thread-pool executor for a run matrix.
+ *
+ * runAll() preserves cell order in its result vector regardless of
+ * completion order, so downstream aggregation (tables, geomeans,
+ * JSON) is deterministic. A panicking cell is captured into
+ * SweepOutcome::error instead of tearing down the whole sweep.
+ */
+class SweepRunner
+{
+  public:
+    /** @param threads Worker count; 0 = hardware concurrency. */
+    explicit SweepRunner(unsigned threads = 0);
+
+    unsigned threads() const { return threads_; }
+
+    std::vector<SweepOutcome>
+    runAll(const std::vector<SweepCell> &cells,
+           const SweepProgressFn &progress = {}) const;
+
+  private:
+    unsigned threads_;
+};
+
+/** Lower-case mode name: "baseline", "cdf", "pre". */
+const char *toString(ooo::CoreMode mode);
+
+// --- JSON serialization of results (schema in README.md) ---
+Json toJson(const RunSpec &spec);
+Json toJson(const ooo::CoreResult &core);
+Json toJson(const energy::EnergyReport &energy);
+Json toJson(const RunResult &run);
+Json toJson(const SweepOutcome &outcome);
+
+} // namespace cdfsim::sim
+
+#endif // CDFSIM_SIM_SWEEP_HH

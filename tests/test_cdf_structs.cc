@@ -550,3 +550,22 @@ TEST(CdfFifos, FlushYoungerTruncatesByTimestamp)
     flushYounger(dbq, 5);
     EXPECT_TRUE(dbq.empty());
 }
+
+TEST(CdfFifos, FlushYoungerEdgeCases)
+{
+    DelayedBranchQueue dbq(8);
+    flushYounger(dbq, 10); // empty queue: no-op, no crash
+    EXPECT_TRUE(dbq.empty());
+
+    dbq.push({10, true, 1});
+    dbq.push({20, false, 2});
+    flushYounger(dbq, 20); // flush-none: ts == flushTs survives
+    EXPECT_EQ(dbq.size(), 2u);
+    flushYounger(dbq, kInvalidSeq);
+    EXPECT_EQ(dbq.size(), 2u);
+
+    flushYounger(dbq, 0); // flush-all
+    EXPECT_TRUE(dbq.empty());
+    flushYounger(dbq, 0); // idempotent on the emptied queue
+    EXPECT_TRUE(dbq.empty());
+}

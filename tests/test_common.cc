@@ -7,10 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 
 #include "common/circular_queue.hh"
 #include "common/histogram.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/sat_counter.hh"
@@ -180,6 +182,107 @@ TEST(StatRegistry, MissingCounterReadsZero)
     StatRegistry s;
     EXPECT_EQ(s.get("never"), 0u);
     EXPECT_FALSE(s.has("never"));
+}
+
+TEST(StatRegistry, ReferencesSurviveResetAllAndPrefixQueries)
+{
+    // Components cache counter references for the lifetime of the
+    // registry; resetAll() and the read-side queries must never
+    // invalidate them (warmup reset happens mid-run with every
+    // cached reference live).
+    StatRegistry s;
+    std::uint64_t &hits = s.counter("cache.hits");
+    std::uint64_t &reads = s.counter("dram.reads");
+    hits = 11;
+    reads = 22;
+
+    s.resetAll();
+    EXPECT_EQ(hits, 0u);
+    hits = 5;
+    EXPECT_EQ(s.get("cache.hits"), 5u);
+
+    auto pre = s.withPrefix("cache.");
+    ASSERT_EQ(pre.size(), 1u);
+    reads = 7;
+    hits = 9;
+    EXPECT_EQ(s.get("dram.reads"), 7u);
+    EXPECT_EQ(s.get("cache.hits"), 9u);
+}
+
+TEST(StatRegistry, WithPrefixDoesNotMatchNeighbours)
+{
+    StatRegistry s;
+    s.counter("rob.flushes") = 1;
+    s.counter("rob_ext.flushes") = 2;
+    s.counter("rs.issued") = 3;
+    auto got = s.withPrefix("rob.");
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].first, "rob.flushes");
+    EXPECT_TRUE(s.withPrefix("zzz.").empty());
+}
+
+TEST(StatRegistry, ToJsonSortedAndComplete)
+{
+    StatRegistry s;
+    s.counter("b") = 2;
+    s.counter("a") = 1;
+    Json j = s.toJson();
+    EXPECT_EQ(j.dump(-1), "{\"a\":1,\"b\":2}");
+}
+
+// --- Json ---
+
+TEST(Json, ScalarsAndCompactDump)
+{
+    EXPECT_EQ(Json().dump(-1), "null");
+    EXPECT_EQ(Json(true).dump(-1), "true");
+    EXPECT_EQ(Json(false).dump(-1), "false");
+    EXPECT_EQ(Json(std::int64_t{-42}).dump(-1), "-42");
+    EXPECT_EQ(Json(std::uint64_t{18446744073709551615ull}).dump(-1),
+              "18446744073709551615");
+    EXPECT_EQ(Json("hi").dump(-1), "\"hi\"");
+}
+
+TEST(Json, DoubleFormattingRoundTripsAndStaysTyped)
+{
+    EXPECT_EQ(Json(0.1).dump(-1), "0.1");
+    EXPECT_EQ(Json(2.0).dump(-1), "2.0")
+        << "doubles must not collapse to bare integers";
+    EXPECT_EQ(Json(1e-9).dump(-1), "1e-09");
+    const double v = 1.0 / 3.0;
+    EXPECT_EQ(std::strtod(Json(v).dump(-1).c_str(), nullptr), v);
+}
+
+TEST(Json, StringEscaping)
+{
+    EXPECT_EQ(Json("a\"b\\c\n").dump(-1), "\"a\\\"b\\\\c\\n\"");
+    EXPECT_EQ(Json(std::string(1, '\x01')).dump(-1), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectsKeepInsertionOrder)
+{
+    Json j = Json::object();
+    j["zeta"] = 1;
+    j["alpha"] = 2;
+    j["zeta"] = 3; // overwrite keeps the original slot
+    EXPECT_EQ(j.dump(-1), "{\"zeta\":3,\"alpha\":2}");
+}
+
+TEST(Json, NestedDumpIsDeterministic)
+{
+    Json j = Json::object();
+    Json arr = Json::array();
+    arr.push_back(1);
+    arr.push_back("two");
+    Json inner = Json::object();
+    inner["ok"] = true;
+    arr.push_back(std::move(inner));
+    j["items"] = std::move(arr);
+    EXPECT_EQ(j.dump(-1), "{\"items\":[1,\"two\",{\"ok\":true}]}");
+    EXPECT_EQ(j.dump(-1), j.dump(-1));
+    EXPECT_EQ(j.dump(2),
+              "{\n  \"items\": [\n    1,\n    \"two\",\n    {\n"
+              "      \"ok\": true\n    }\n  ]\n}\n");
 }
 
 // --- Histogram ---

@@ -105,6 +105,41 @@ TEST(Rob, FlushYoungerTruncatesBothSections)
     EXPECT_EQ(rob.head()->ts, 2u);
 }
 
+TEST(Rob, FlushYoungerOnEmptyRobIsNoop)
+{
+    Rob rob(8);
+    EXPECT_EQ(rob.flushYounger(5), 0u);
+    EXPECT_TRUE(rob.empty());
+    EXPECT_EQ(rob.head(), nullptr);
+}
+
+TEST(Rob, FlushYoungerCanFlushEverything)
+{
+    Rob rob(8);
+    rob.setCriticalCap(4);
+    DynInst c1 = makeInst(3, true), n1 = makeInst(4), n2 = makeInst(6);
+    rob.insert(&c1, true);
+    rob.insert(&n1, false);
+    rob.insert(&n2, false);
+    EXPECT_EQ(rob.flushYounger(2), 3u);
+    EXPECT_TRUE(rob.empty());
+    EXPECT_EQ(rob.occupancy(), 0u);
+}
+
+TEST(Rob, FlushYoungerAtOrAboveMaxTsFlushesNothing)
+{
+    Rob rob(8);
+    rob.setCriticalCap(4);
+    DynInst c1 = makeInst(3, true), n1 = makeInst(4), n2 = makeInst(6);
+    rob.insert(&c1, true);
+    rob.insert(&n1, false);
+    rob.insert(&n2, false);
+    EXPECT_EQ(rob.flushYounger(6), 0u) << "ts == flushTs survives";
+    EXPECT_EQ(rob.occupancy(), 3u);
+    EXPECT_EQ(rob.flushYounger(kInvalidSeq), 0u);
+    EXPECT_EQ(rob.occupancy(), 3u);
+}
+
 TEST(Rob, OutOfOrderInsertPanics)
 {
     Rob rob(8);
@@ -260,6 +295,23 @@ TEST(Rs, FlushYoungerMaintainsCriticalCount)
     EXPECT_EQ(rs.flushYounger(5), 1u);
     EXPECT_EQ(rs.criticalOccupancy(), 1u);
     EXPECT_TRUE(rs.canInsert(true));
+}
+
+TEST(Rs, FlushYoungerEdgeCases)
+{
+    ReservationStations rs(8);
+    rs.setCriticalCap(8);
+    EXPECT_EQ(rs.flushYounger(5), 0u) << "empty RS flush is a no-op";
+
+    DynInst c1 = makeInst(3, true), n1 = makeInst(5), c2 = makeInst(9, true);
+    rs.insert(&c1);
+    rs.insert(&n1);
+    rs.insert(&c2);
+    EXPECT_EQ(rs.flushYounger(9), 0u) << "flush-none keeps all";
+    EXPECT_EQ(rs.occupancy(), 3u);
+    EXPECT_EQ(rs.flushYounger(0), 3u) << "flush-all drains the RS";
+    EXPECT_EQ(rs.occupancy(), 0u);
+    EXPECT_EQ(rs.criticalOccupancy(), 0u);
 }
 
 // --- RenameMap / PhysRegFile ---
