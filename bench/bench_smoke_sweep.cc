@@ -1,12 +1,15 @@
 /**
  * @file
  * CI smoke sweep: every workload x {Baseline, CDF, PRE} at tiny
- * instruction counts through sim::SweepRunner. Exits non-zero if
- * any cell halts, truncates, or throws — catching deadlocks,
- * exhausted programs and measurement-window regressions before they
- * corrupt a figure. Registered as a ctest target.
+ * instruction counts through sim::SweepRunner, plus a handful of
+ * config-override cells (static partition, mask cache off, scaled
+ * windows) so the ablation and scaling paths stay covered. Exits
+ * non-zero if any cell halts, truncates, or throws — catching
+ * deadlocks, exhausted programs and measurement-window regressions
+ * before they corrupt a figure. Registered as a ctest target.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_util.hh"
@@ -30,6 +33,33 @@ main(int argc, char **argv)
         h.add(name, "base", ooo::CoreMode::Baseline, base, spec);
         h.add(name, "cdf", ooo::CoreMode::Cdf, base, spec);
         h.add(name, "pre", ooo::CoreMode::Pre, base, spec);
+    }
+
+    // Config-override cells on a small workload subset: exercise the
+    // ablation/scaling configurations the figure benches rely on
+    // without tripling the sweep.
+    ooo::CoreConfig staticPart = base;
+    staticPart.cdf.partition.dynamic = false;
+    ooo::CoreConfig noMaskCache = base;
+    noMaskCache.cdf.fillBuffer.useMaskCache = false;
+    ooo::CoreConfig halfWindow = base;
+    halfWindow.scaleWindow(0.5);
+    ooo::CoreConfig bigWindow = base;
+    bigWindow.scaleWindow(1.5);
+    for (const std::string name : {"astar", "mcf", "lbm"}) {
+        if (std::find(names.begin(), names.end(), name) ==
+            names.end())
+            continue; // dropped by --workloads
+        h.add(name, "cdf_static_part", ooo::CoreMode::Cdf,
+              staticPart, spec);
+        h.add(name, "cdf_no_maskcache", ooo::CoreMode::Cdf,
+              noMaskCache, spec);
+        h.add(name, "base_halfwin", ooo::CoreMode::Baseline,
+              halfWindow, spec);
+        h.add(name, "cdf_halfwin", ooo::CoreMode::Cdf, halfWindow,
+              spec);
+        h.add(name, "cdf_bigwin", ooo::CoreMode::Cdf, bigWindow,
+              spec);
     }
     h.run();
 

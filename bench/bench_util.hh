@@ -166,6 +166,7 @@ class Harness
         cell.mode = mode;
         cell.config = config;
         cell.config.mode = mode;
+        cell.config.profileStages = profile_;
         cell.spec = spec;
         index_[{workload, variant}] = cells_.size();
         cells_.push_back(std::move(cell));
@@ -196,6 +197,47 @@ class Harness
     const std::vector<sim::SweepOutcome> &outcomes() const
     {
         return outcomes_;
+    }
+
+    /** Sum the per-stage host-time profiles over every run. */
+    ooo::StageProfile
+    aggregateProfile() const
+    {
+        ooo::StageProfile total;
+        for (const auto &o : outcomes_) {
+            for (unsigned s = 0; s < ooo::StageProfile::kNumStages;
+                 ++s)
+                total.ns[s] += o.run.profile.ns[s];
+            total.ticks += o.run.profile.ticks;
+        }
+        return total;
+    }
+
+    /** Print the --profile per-stage breakdown to stderr. */
+    void
+    printProfile() const
+    {
+        const ooo::StageProfile p = aggregateProfile();
+        std::uint64_t totalNs = 0;
+        for (unsigned s = 0; s < ooo::StageProfile::kNumStages; ++s)
+            totalNs += p.ns[s];
+        if (p.ticks == 0 || totalNs == 0) {
+            std::fprintf(stderr,
+                         "--profile: no stage samples collected\n");
+            return;
+        }
+        std::fprintf(stderr,
+                     "\nper-stage host time (%llu ticks):\n",
+                     static_cast<unsigned long long>(p.ticks));
+        for (unsigned s = 0; s < ooo::StageProfile::kNumStages; ++s) {
+            std::fprintf(
+                stderr, "  %-10s %8.1f ns/tick  %5.1f%%\n",
+                ooo::StageProfile::name(s),
+                static_cast<double>(p.ns[s]) /
+                    static_cast<double>(p.ticks),
+                100.0 * static_cast<double>(p.ns[s]) /
+                    static_cast<double>(totalNs));
+        }
     }
 
     const sim::SweepOutcome &
@@ -241,6 +283,8 @@ class Harness
     int
     finish() const
     {
+        if (profile_)
+            printProfile();
         if (jsonPath_.empty())
             return 0;
         Json doc = Json::object();
@@ -258,6 +302,16 @@ class Harness
         Json timing = Json::object();
         timing["threads"] = runner_.threads();
         timing["wall_seconds"] = wallSeconds_;
+        std::uint64_t measuredInstrs = 0;
+        for (const auto &o : outcomes_)
+            measuredInstrs += o.run.core.retiredInstrs;
+        timing["sim_kuops_per_sec"] =
+            wallSeconds_ > 0.0
+                ? static_cast<double>(measuredInstrs) /
+                      wallSeconds_ / 1e3
+                : 0.0;
+        if (profile_)
+            timing["profile"] = profileJson();
         doc["timing"] = std::move(timing);
 
         std::ofstream out(jsonPath_);
@@ -276,6 +330,19 @@ class Harness
     static constexpr std::uint64_t kUnset =
         std::numeric_limits<std::uint64_t>::max();
 
+    Json
+    profileJson() const
+    {
+        const ooo::StageProfile p = aggregateProfile();
+        Json obj = Json::object();
+        obj["ticks"] = p.ticks;
+        for (unsigned s = 0; s < ooo::StageProfile::kNumStages; ++s) {
+            obj[std::string(ooo::StageProfile::name(s)) + "_ns"] =
+                p.ns[s];
+        }
+        return obj;
+    }
+
     [[noreturn]] void
     usage(int code) const
     {
@@ -284,7 +351,7 @@ class Harness
             "usage: %s [--threads N] [--workloads a,b,c] "
             "[--json out.json]\n"
             "          [--measure-instrs N] [--warmup-instrs N] "
-            "[--max-cycles N]\n",
+            "[--max-cycles N] [--profile]\n",
             name_.c_str());
         std::exit(code);
     }
@@ -328,6 +395,8 @@ class Harness
             } else if (matches(arg, "--max-cycles")) {
                 maxCycles_ = std::strtoull(value(i, "--max-cycles"),
                                            nullptr, 10);
+            } else if (std::strcmp(arg, "--profile") == 0) {
+                profile_ = true;
             } else if (std::strcmp(arg, "--help") == 0 ||
                        std::strcmp(arg, "-h") == 0) {
                 usage(0);
@@ -360,6 +429,7 @@ class Harness
     std::uint64_t measureInstrs_ = kUnset;
     std::uint64_t warmupInstrs_ = kUnset;
     std::uint64_t maxCycles_ = kUnset;
+    bool profile_ = false;
 
     sim::SweepRunner runner_{1};
     std::vector<sim::SweepCell> cells_;

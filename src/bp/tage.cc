@@ -38,6 +38,72 @@ Tage::Tage(const TageConfig &config, StatRegistry &stats)
     tables_.assign(config_.numTables,
                    std::vector<TaggedEntry>(std::size_t{1}
                                             << config_.tableBitsLog2));
+
+    SIM_ASSERT(config_.loopEntries <= kMaxLoopEntries,
+               "loop table exceeds the fixed checkpoint copy");
+    for (unsigned t = 0; t < config_.numTables; ++t) {
+        folds_[3 * t].configure(histLengths_[t],
+                                config_.tableBitsLog2);
+        folds_[3 * t + 1].configure(histLengths_[t], config_.tagBits);
+        folds_[3 * t + 2].configure(histLengths_[t],
+                                    config_.tagBits > 2
+                                        ? config_.tagBits - 1
+                                        : config_.tagBits);
+    }
+    folds_[3 * config_.numTables].configure(64, 16);
+}
+
+void
+Tage::FoldedHistory::configure(unsigned len, unsigned b)
+{
+    SIM_ASSERT(b > 0 && b <= 32, "bad fold width");
+    length = std::min<unsigned>(len, 256);
+    bits = b;
+    nFull = (length / bits) * bits;
+    rem = length - nFull;
+    full = 0;
+    partial = 0;
+}
+
+void
+Tage::FoldedHistory::shiftIn(const History &old, bool newest)
+{
+    // foldHistory() folds the history newest-first, MSB-first within
+    // each chunk: bit i lands at position (bits-1 - i%bits) of its
+    // chunk, and the trailing rem bits at (rem-1 - (i-nFull)). When
+    // a bit shifts in, every folded bit moves one position down its
+    // chunk, the bit at a chunk's position 0 wraps to position
+    // bits-1 of the NEXT chunk, and the oldest folded bit drops out.
+    // On the XOR of full chunks that is a rotate plus two fix-ups.
+    std::uint32_t incoming = newest ? 1u : 0u;
+    if (nFull > 0) {
+        const std::uint32_t outgoing = old[nFull - 1] ? 1u : 0u;
+        full = (full >> 1) | ((full & 1u) << (bits - 1));
+        full ^= (incoming ^ outgoing) << (bits - 1);
+        incoming = outgoing;
+    }
+    if (rem > 0)
+        partial = (partial >> 1) ^ (incoming << (rem - 1));
+}
+
+void
+Tage::shiftFolds(bool taken)
+{
+    const unsigned n = numFolds();
+    for (unsigned i = 0; i < n; ++i)
+        folds_[i].shiftIn(history_, taken);
+}
+
+bool
+Tage::checkFolds() const
+{
+    const unsigned n = numFolds();
+    for (unsigned i = 0; i < n; ++i) {
+        const FoldedHistory &f = folds_[i];
+        if (f.value() != foldHistory(f.length, f.bits))
+            return false;
+    }
+    return true;
 }
 
 std::uint64_t
@@ -64,7 +130,7 @@ unsigned
 Tage::tableIndex(Addr pc, unsigned table) const
 {
     const unsigned bits = config_.tableBitsLog2;
-    const std::uint64_t h = foldHistory(histLengths_[table], bits);
+    const std::uint64_t h = folds_[3 * table].value();
     const std::uint64_t mix =
         pc ^ (pc >> bits) ^ h ^ (pathHistory_ & 0xFFFF) ^
         (static_cast<std::uint64_t>(table) << 3);
@@ -75,9 +141,8 @@ std::uint16_t
 Tage::tableTag(Addr pc, unsigned table) const
 {
     const unsigned bits = config_.tagBits;
-    const std::uint64_t h = foldHistory(histLengths_[table], bits);
-    const std::uint64_t h2 =
-        foldHistory(histLengths_[table], bits > 2 ? bits - 1 : bits);
+    const std::uint64_t h = folds_[3 * table + 1].value();
+    const std::uint64_t h2 = folds_[3 * table + 2].value();
     const std::uint64_t mix = pc ^ (pc >> 5) ^ h ^ (h2 << 1);
     return static_cast<std::uint16_t>(mix & ((1u << bits) - 1));
 }
@@ -85,6 +150,7 @@ Tage::tableTag(Addr pc, unsigned table) const
 void
 Tage::pushHistory(bool taken, Addr pc)
 {
+    shiftFolds(taken); // needs the pre-shift history
     history_ <<= 1;
     history_[0] = taken;
     pathHistory_ = (pathHistory_ << 1) ^
@@ -170,7 +236,8 @@ Tage::predict(Addr pc)
     // counter strongly disagrees.
     if (!info.loopUsed && providerWeak) {
         const std::uint32_t scIdx = static_cast<std::uint32_t>(
-            (pc ^ historyHash(16) ^ (pred ? 0x55AA : 0)) &
+            (pc ^ folds_[3 * config_.numTables].value() ^
+             (pred ? 0x55AA : 0)) &
             ((std::uint32_t{1} << config_.scEntriesLog2) - 1));
         info.scUsed = true;
         info.scIndex = scIdx;
@@ -193,23 +260,23 @@ Tage::checkpoint() const
     TageCheckpoint c;
     c.history = history_;
     c.pathHistory = pathHistory_;
-    c.loopSpecIters.resize(loops_.size());
     for (std::size_t i = 0; i < loops_.size(); ++i)
         c.loopSpecIters[i] = loops_[i].specIter;
+    const unsigned n = numFolds();
+    for (unsigned i = 0; i < n; ++i) {
+        c.folds[2 * i] = folds_[i].full;
+        c.folds[2 * i + 1] = folds_[i].partial;
+    }
     return c;
 }
 
 void
 Tage::recover(const TageCheckpoint &ckpt, bool actualTaken, Addr pc)
 {
-    history_ = ckpt.history;
-    pathHistory_ = ckpt.pathHistory;
-    for (std::size_t i = 0;
-         i < loops_.size() && i < ckpt.loopSpecIters.size(); ++i) {
-        loops_[i].specIter = ckpt.loopSpecIters[i];
-    }
+    restore(ckpt);
     // The recovering branch itself resolved: re-insert its real
     // outcome. (The checkpoint was taken before its prediction.)
+    shiftFolds(actualTaken);
     history_ <<= 1;
     history_[0] = actualTaken;
     pathHistory_ <<= 1;
@@ -226,9 +293,12 @@ Tage::restore(const TageCheckpoint &ckpt)
 {
     history_ = ckpt.history;
     pathHistory_ = ckpt.pathHistory;
-    for (std::size_t i = 0;
-         i < loops_.size() && i < ckpt.loopSpecIters.size(); ++i) {
+    for (std::size_t i = 0; i < loops_.size(); ++i)
         loops_[i].specIter = ckpt.loopSpecIters[i];
+    const unsigned n = numFolds();
+    for (unsigned i = 0; i < n; ++i) {
+        folds_[i].full = ckpt.folds[2 * i];
+        folds_[i].partial = ckpt.folds[2 * i + 1];
     }
 }
 

@@ -48,17 +48,30 @@ struct TageConfig
     unsigned scThreshold = 5;          //!< |sum| needed to flip TAGE
 };
 
-/** Everything needed to undo a speculative history update. */
+/** Upper bound on tagged tables (for the per-prediction stash). */
+inline constexpr unsigned kMaxTageTables = 12;
+
+/** Upper bound on loop-predictor entries (for the checkpoint copy). */
+inline constexpr unsigned kMaxLoopEntries = 64;
+
+/** Incremental folds kept per tagged table (index, tag, tag's second
+ *  hash) plus one for the statistical corrector. */
+inline constexpr unsigned kMaxTageFolds = 3 * kMaxTageTables + 1;
+
+/**
+ * Everything needed to undo a speculative history update. A
+ * checkpoint is taken per in-flight branch on the fetch hot path, so
+ * it is a fixed-size value type: no heap allocation on copy.
+ */
 struct TageCheckpoint
 {
     History history;
     std::uint32_t pathHistory = 0;
     /** Speculative loop-iteration counters (small table copy). */
-    std::vector<std::uint16_t> loopSpecIters;
+    std::array<std::uint16_t, kMaxLoopEntries> loopSpecIters{};
+    /** Saved (full, partial) pair per incremental history fold. */
+    std::array<std::uint32_t, 2 * kMaxTageFolds> folds{};
 };
-
-/** Upper bound on tagged tables (for the per-prediction stash). */
-inline constexpr unsigned kMaxTageTables = 12;
 
 /**
  * Per-prediction bookkeeping carried until update time. The table
@@ -113,6 +126,10 @@ class Tage
     /** Fold the running history for an external hash consumer. */
     std::uint64_t historyHash(unsigned bits) const;
 
+    /** Recompute every incremental fold from scratch and compare
+     *  against the maintained value (test hook). */
+    bool checkFolds() const;
+
   private:
     struct TaggedEntry
     {
@@ -131,9 +148,33 @@ class Tage
         std::uint8_t confidence = 0;
     };
 
+    /**
+     * Incrementally-maintained fold of the newest-first global
+     * history: the XOR of the full @c bits-wide chunks plus the
+     * trailing partial chunk, kept separately so shifting one bit in
+     * is O(1). Matches foldHistory() bit-for-bit; the naive fold
+     * stays as the reference for external hashing and checkFolds().
+     */
+    struct FoldedHistory
+    {
+        std::uint32_t full = 0;     //!< XOR of complete chunks
+        std::uint32_t partial = 0;  //!< trailing (length % bits) bits
+        unsigned length = 0;        //!< history bits folded
+        unsigned bits = 0;          //!< fold width
+        unsigned nFull = 0;         //!< bits covered by full chunks
+        unsigned rem = 0;           //!< width of the partial chunk
+
+        void configure(unsigned len, unsigned b);
+        std::uint64_t value() const { return full ^ partial; }
+        /** Shift in @p newest given the history BEFORE the shift. */
+        void shiftIn(const History &old, bool newest);
+    };
+
     unsigned tableIndex(Addr pc, unsigned table) const;
     std::uint16_t tableTag(Addr pc, unsigned table) const;
     std::uint64_t foldHistory(unsigned length, unsigned bits) const;
+    unsigned numFolds() const { return 3 * config_.numTables + 1; }
+    void shiftFolds(bool taken);
     void pushHistory(bool taken, Addr pc);
 
     // Loop predictor helpers.
@@ -150,6 +191,9 @@ class Tage
     History history_;
     std::uint32_t pathHistory_ = 0;
     std::uint64_t allocTick_ = 0;
+    /** Layout: [3t]=index fold, [3t+1]=tag, [3t+2]=tag's second
+     *  hash for table t; [3 * numTables]=statistical corrector. */
+    std::array<FoldedHistory, kMaxTageFolds> folds_;
 
     std::uint64_t &lookups_;
     std::uint64_t &scFlips_;

@@ -7,13 +7,14 @@
  * deterministic output (object keys keep insertion order, numbers
  * render via a fixed format) so two runs of the same sweep produce
  * bit-identical files; no external dependencies; enough of JSON to
- * serialize results (no parser — nothing in the simulator reads
- * JSON back).
+ * serialize results. A small recursive-descent parser reads the
+ * artifacts back for offline comparison (tools/bench_compare).
  */
 
 #ifndef CDFSIM_COMMON_JSON_HH
 #define CDFSIM_COMMON_JSON_HH
 
+#include <cerrno>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -75,6 +76,56 @@ class Json
 
     Type type() const { return type_; }
     bool isNull() const { return type_ == Type::Null; }
+
+    bool
+    asBool() const
+    {
+        SIM_ASSERT(type_ == Type::Bool, "not a bool");
+        return bool_;
+    }
+
+    /** Numeric value of an Int/Uint/Double node. */
+    double
+    asNumber() const
+    {
+        switch (type_) {
+          case Type::Int: return static_cast<double>(int_);
+          case Type::Uint: return static_cast<double>(uint_);
+          case Type::Double: return double_;
+          default: SIM_ASSERT(false, "not a number"); return 0.0;
+        }
+    }
+
+    std::uint64_t
+    asUint() const
+    {
+        if (type_ == Type::Int) {
+            SIM_ASSERT(int_ >= 0, "negative as uint");
+            return static_cast<std::uint64_t>(int_);
+        }
+        SIM_ASSERT(type_ == Type::Uint, "not an unsigned integer");
+        return uint_;
+    }
+
+    const std::string &
+    asString() const
+    {
+        SIM_ASSERT(type_ == Type::String, "not a string");
+        return str_;
+    }
+
+    /** Member lookup on an object; nullptr when absent. */
+    const Json *
+    find(const std::string &key) const
+    {
+        if (type_ != Type::Object)
+            return nullptr;
+        for (const auto &kv : members_) {
+            if (kv.first == key)
+                return &kv.second;
+        }
+        return nullptr;
+    }
 
     /** Append to an array. */
     void
@@ -155,7 +206,279 @@ class Json
         return out;
     }
 
+    /**
+     * Parse @p text into a document. On malformed input returns a
+     * Null value and, when @p error is non-null, stores a short
+     * message with the byte offset. Accepts exactly what write()
+     * emits (including the "1e999" overflow-infinity form, which
+     * strtod maps back to +/-inf).
+     */
+    static Json
+    parse(const std::string &text, std::string *error = nullptr)
+    {
+        Parser p{text, 0, nullptr};
+        Json v;
+        if (!p.value(v) || !p.atEnd()) {
+            if (error) {
+                *error = (p.message ? p.message : "trailing garbage");
+                *error += " at byte " + std::to_string(p.pos);
+            }
+            return Json();
+        }
+        return v;
+    }
+
   private:
+    /** Recursive-descent state for parse(). */
+    struct Parser
+    {
+        const std::string &text;
+        std::size_t pos;
+        const char *message; //!< set on first failure
+
+        bool
+        fail(const char *why)
+        {
+            if (!message)
+                message = why;
+            return false;
+        }
+
+        void
+        skipWs()
+        {
+            while (pos < text.size() &&
+                   (text[pos] == ' ' || text[pos] == '\t' ||
+                    text[pos] == '\n' || text[pos] == '\r'))
+                ++pos;
+        }
+
+        bool
+        atEnd()
+        {
+            skipWs();
+            return pos == text.size();
+        }
+
+        bool
+        literal(const char *word, std::size_t len)
+        {
+            if (text.compare(pos, len, word) != 0)
+                return fail("bad literal");
+            pos += len;
+            return true;
+        }
+
+        bool
+        value(Json &out)
+        {
+            skipWs();
+            if (pos >= text.size())
+                return fail("unexpected end of input");
+            switch (text[pos]) {
+              case 'n': out = Json(); return literal("null", 4);
+              case 't': out = Json(true); return literal("true", 4);
+              case 'f': out = Json(false); return literal("false", 5);
+              case '"': return string(out);
+              case '[': return array(out);
+              case '{': return object(out);
+              default: return number(out);
+            }
+        }
+
+        bool
+        string(Json &out)
+        {
+            ++pos; // opening quote
+            std::string s;
+            while (true) {
+                if (pos >= text.size())
+                    return fail("unterminated string");
+                const char c = text[pos++];
+                if (c == '"')
+                    break;
+                if (static_cast<unsigned char>(c) < 0x20)
+                    return fail("raw control char in string");
+                if (c != '\\') {
+                    s.push_back(c);
+                    continue;
+                }
+                if (pos >= text.size())
+                    return fail("unterminated escape");
+                const char e = text[pos++];
+                switch (e) {
+                  case '"': s.push_back('"'); break;
+                  case '\\': s.push_back('\\'); break;
+                  case '/': s.push_back('/'); break;
+                  case 'b': s.push_back('\b'); break;
+                  case 'f': s.push_back('\f'); break;
+                  case 'n': s.push_back('\n'); break;
+                  case 'r': s.push_back('\r'); break;
+                  case 't': s.push_back('\t'); break;
+                  case 'u': {
+                    unsigned cp = 0;
+                    if (!hex4(cp))
+                        return false;
+                    appendUtf8(s, cp);
+                    break;
+                  }
+                  default: return fail("bad escape");
+                }
+            }
+            out = Json(std::move(s));
+            return true;
+        }
+
+        bool
+        hex4(unsigned &cp)
+        {
+            if (pos + 4 > text.size())
+                return fail("truncated \\u escape");
+            cp = 0;
+            for (int i = 0; i < 4; ++i) {
+                const char c = text[pos++];
+                cp <<= 4;
+                if (c >= '0' && c <= '9')
+                    cp |= static_cast<unsigned>(c - '0');
+                else if (c >= 'a' && c <= 'f')
+                    cp |= static_cast<unsigned>(c - 'a' + 10);
+                else if (c >= 'A' && c <= 'F')
+                    cp |= static_cast<unsigned>(c - 'A' + 10);
+                else
+                    return fail("bad hex digit in \\u escape");
+            }
+            return true;
+        }
+
+        /** BMP code point to UTF-8 (surrogates pass through as-is;
+         *  escape() never emits them). */
+        static void
+        appendUtf8(std::string &s, unsigned cp)
+        {
+            if (cp < 0x80) {
+                s.push_back(static_cast<char>(cp));
+            } else if (cp < 0x800) {
+                s.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+                s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            } else {
+                s.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+                s.push_back(
+                    static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+                s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            }
+        }
+
+        bool
+        number(Json &out)
+        {
+            const std::size_t start = pos;
+            bool isDouble = false;
+            if (pos < text.size() && text[pos] == '-')
+                ++pos;
+            while (pos < text.size()) {
+                const char c = text[pos];
+                if (c >= '0' && c <= '9') {
+                    ++pos;
+                } else if (c == '.' || c == 'e' || c == 'E' ||
+                           c == '+' || c == '-') {
+                    isDouble = true;
+                    ++pos;
+                } else {
+                    break;
+                }
+            }
+            const std::string tok = text.substr(start, pos - start);
+            if (tok.empty() || tok == "-")
+                return fail("bad number");
+            errno = 0;
+            char *end = nullptr;
+            if (!isDouble) {
+                // Integers keep their exact 64-bit value and
+                // signedness class, matching what write() emitted.
+                if (tok[0] == '-') {
+                    const long long v =
+                        std::strtoll(tok.c_str(), &end, 10);
+                    if (end != tok.c_str() + tok.size() || errno)
+                        return fail("bad integer");
+                    out = Json(static_cast<std::int64_t>(v));
+                } else {
+                    const unsigned long long v =
+                        std::strtoull(tok.c_str(), &end, 10);
+                    if (end != tok.c_str() + tok.size() || errno)
+                        return fail("bad integer");
+                    out = Json(static_cast<std::uint64_t>(v));
+                }
+                return true;
+            }
+            const double v = std::strtod(tok.c_str(), &end);
+            if (end != tok.c_str() + tok.size())
+                return fail("bad number");
+            out = Json(v);
+            return true;
+        }
+
+        bool
+        array(Json &out)
+        {
+            ++pos; // '['
+            out = Json::array();
+            skipWs();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                Json item;
+                if (!value(item))
+                    return false;
+                out.push_back(std::move(item));
+                skipWs();
+                if (pos >= text.size())
+                    return fail("unterminated array");
+                const char c = text[pos++];
+                if (c == ']')
+                    return true;
+                if (c != ',')
+                    return fail("expected ',' or ']'");
+            }
+        }
+
+        bool
+        object(Json &out)
+        {
+            ++pos; // '{'
+            out = Json::object();
+            skipWs();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                if (pos >= text.size() || text[pos] != '"')
+                    return fail("expected object key");
+                Json key;
+                if (!string(key))
+                    return false;
+                skipWs();
+                if (pos >= text.size() || text[pos++] != ':')
+                    return fail("expected ':'");
+                Json val;
+                if (!value(val))
+                    return false;
+                out[key.asString()] = std::move(val);
+                skipWs();
+                if (pos >= text.size())
+                    return fail("unterminated object");
+                const char c = text[pos++];
+                if (c == '}')
+                    return true;
+                if (c != ',')
+                    return fail("expected ',' or '}'");
+            }
+        }
+    };
+
     void
     write(std::string &out, int indent, int depth) const
     {

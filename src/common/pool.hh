@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Chunked object pool with a LIFO freelist and stable addresses.
+ */
+
+#ifndef CDFSIM_COMMON_POOL_HH
+#define CDFSIM_COMMON_POOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace cdfsim
+{
+
+/**
+ * Objects live in fixed-size slabs that are never moved or released,
+ * so pointers stay valid for an object's whole lifetime and slots can
+ * be handed out as compact 32-bit handles. allocate() constructs a
+ * value-initialized T in a recycled slot — after a slab is warm there
+ * is no heap traffic at all. alive() answers whether a handle
+ * currently names a live object, which lets deferred references
+ * (e.g. wakeup lists) validate a stale handle before dereferencing.
+ */
+template <typename T>
+class SlabPool
+{
+  public:
+    static constexpr std::uint32_t kNpos = 0xFFFF'FFFFu;
+
+    explicit SlabPool(std::uint32_t slabSize = 1024)
+        : slabSize_(slabSize)
+    {
+        SIM_ASSERT(slabSize_ > 0, "empty slab");
+    }
+
+    SlabPool(const SlabPool &) = delete;
+    SlabPool &operator=(const SlabPool &) = delete;
+
+    ~SlabPool()
+    {
+        for (std::uint32_t i = 0; i < alive_.size(); ++i) {
+            if (alive_[i])
+                at(i).~T();
+        }
+    }
+
+    /** Construct a value-initialized T; returns its handle. */
+    std::uint32_t allocate()
+    {
+        if (freeList_.empty())
+            grow();
+        const std::uint32_t idx = freeList_.back();
+        freeList_.pop_back();
+        ::new (slotPtr(idx)) T();
+        alive_[idx] = 1;
+        ++live_;
+        return idx;
+    }
+
+    /** Destroy the object at @p idx and recycle its slot. */
+    void free(std::uint32_t idx)
+    {
+        SIM_ASSERT(idx < alive_.size() && alive_[idx],
+                   "freeing a dead pool slot");
+        at(idx).~T();
+        alive_[idx] = 0;
+        freeList_.push_back(idx);
+        --live_;
+    }
+
+    T &at(std::uint32_t idx)
+    {
+        return *std::launder(reinterpret_cast<T *>(slotPtr(idx)));
+    }
+
+    const T &at(std::uint32_t idx) const
+    {
+        return *std::launder(
+            reinterpret_cast<const T *>(slotPtr(idx)));
+    }
+
+    bool alive(std::uint32_t idx) const
+    {
+        return idx < alive_.size() && alive_[idx];
+    }
+
+    std::size_t liveCount() const { return live_; }
+    std::size_t capacity() const { return alive_.size(); }
+
+  private:
+    struct Slot
+    {
+        alignas(T) unsigned char raw[sizeof(T)];
+    };
+
+    void *slotPtr(std::uint32_t idx)
+    {
+        return slabs_[idx / slabSize_][idx % slabSize_].raw;
+    }
+
+    const void *slotPtr(std::uint32_t idx) const
+    {
+        return slabs_[idx / slabSize_][idx % slabSize_].raw;
+    }
+
+    void grow()
+    {
+        const std::uint32_t base =
+            static_cast<std::uint32_t>(slabs_.size()) * slabSize_;
+        SIM_ASSERT(base + slabSize_ > base, "pool exhausted");
+        slabs_.push_back(std::make_unique<Slot[]>(slabSize_));
+        alive_.resize(base + slabSize_, 0);
+        // Push in reverse so the LIFO freelist hands out ascending
+        // indices within a fresh slab.
+        for (std::uint32_t i = slabSize_; i-- > 0;)
+            freeList_.push_back(base + i);
+    }
+
+    std::uint32_t slabSize_;
+    std::vector<std::unique_ptr<Slot[]>> slabs_;
+    std::vector<std::uint8_t> alive_;
+    std::vector<std::uint32_t> freeList_;
+    std::size_t live_ = 0;
+};
+
+} // namespace cdfsim
+
+#endif // CDFSIM_COMMON_POOL_HH

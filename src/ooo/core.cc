@@ -1,6 +1,7 @@
 #include "ooo/core.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -75,6 +76,8 @@ Core::Core(const CoreConfig &config, const isa::Program &program,
               ") must cover ROB + architectural state");
     }
 
+    regWaiters_.resize(config_.physRegs);
+
     const bool wantsCdfStructures =
         config_.mode == CoreMode::Cdf || config_.observeCriticality;
 
@@ -135,9 +138,15 @@ Core::~Core() = default;
 DynInst *
 Core::makeInst(const isa::ExecRecord &rec, SeqNum ts, bool onPath)
 {
-    inflight_.emplace_back();
-    DynInst *inst = &inflight_.back();
-    inst->selfIt = std::prev(inflight_.end());
+    const std::uint32_t idx = inflightPool_.allocate();
+    DynInst *inst = &inflightPool_.at(idx);
+    inst->poolIdx = idx;
+    inst->prevIdx = inflightTail_;
+    if (inflightTail_ != kNoInst)
+        inflightPool_.at(inflightTail_).nextIdx = idx;
+    else
+        inflightHead_ = idx;
+    inflightTail_ = idx;
 
     inst->fetchSeq = fetchSeqCounter_++;
     inst->ts = ts;
@@ -165,12 +174,61 @@ Core::makeInst(const isa::ExecRecord &rec, SeqNum ts, bool onPath)
 void
 Core::destroyInst(DynInst *inst)
 {
-    inflight_.erase(inst->selfIt);
+    if (inst->prevIdx != kNoInst)
+        inflightPool_.at(inst->prevIdx).nextIdx = inst->nextIdx;
+    else
+        inflightHead_ = inst->nextIdx;
+    if (inst->nextIdx != kNoInst)
+        inflightPool_.at(inst->nextIdx).prevIdx = inst->prevIdx;
+    else
+        inflightTail_ = inst->prevIdx;
+    inflightPool_.free(inst->poolIdx);
 }
 
 // ---------------------------------------------------------------------
 // Tick and run
 // ---------------------------------------------------------------------
+
+const char *
+StageProfile::name(unsigned stage)
+{
+    static const char *const kNames[kNumStages] = {
+        "retire", "completion", "execute", "rename", "fetch", "stats",
+    };
+    SIM_ASSERT(stage < kNumStages, "bad stage");
+    return kNames[stage];
+}
+
+void
+Core::tickProfiled()
+{
+    using clock = std::chrono::steady_clock;
+    auto last = clock::now();
+    auto lap = [&](StageProfile::Stage s) {
+        const auto t = clock::now();
+        profile_.ns[s] += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                t - last)
+                .count());
+        last = t;
+    };
+
+    ++profile_.ticks;
+    retireStage();
+    lap(StageProfile::Retire);
+    if (halted_)
+        return;
+    completionStage();
+    lap(StageProfile::Completion);
+    executeStage();
+    lap(StageProfile::Execute);
+    renameStage();
+    lap(StageProfile::Rename);
+    fetchStage();
+    lap(StageProfile::Fetch);
+    statsStage();
+    lap(StageProfile::Stats);
+}
 
 void
 Core::tick()
@@ -178,14 +236,20 @@ Core::tick()
     ++now_;
     ++statCycles_;
 
-    retireStage();
+    if (config_.profileStages) {
+        tickProfiled();
+    } else {
+        retireStage();
+        if (halted_)
+            return;
+        completionStage();
+        executeStage();
+        renameStage();
+        fetchStage();
+        statsStage();
+    }
     if (halted_)
         return;
-    completionStage();
-    executeStage();
-    renameStage();
-    fetchStage();
-    statsStage();
 
     if (config_.deadlockCycles != 0 &&
         now_ - lastRetireCycle_ > config_.deadlockCycles) {

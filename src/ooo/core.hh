@@ -14,11 +14,10 @@
 #ifndef CDFSIM_OOO_CORE_HH
 #define CDFSIM_OOO_CORE_HH
 
+#include <array>
 #include <deque>
-#include <list>
 #include <memory>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "bp/predictor.hh"
@@ -29,7 +28,9 @@
 #include "cdf/partition.hh"
 #include "cdf/uop_cache.hh"
 #include "common/circular_queue.hh"
+#include "common/flat_map.hh"
 #include "common/histogram.hh"
+#include "common/pool.hh"
 #include "common/stats.hh"
 #include "isa/oracle.hh"
 #include "mem/hierarchy.hh"
@@ -58,6 +59,31 @@ struct CoreResult
     double fullWindowStallFraction = 0.0;
     double robCriticalFraction = 0.0; //!< Fig. 1 sample (observe mode)
     bool halted = false;
+};
+
+/**
+ * Host-time spent in each pipeline stage, filled only when
+ * CoreConfig::profileStages is set. Host-side measurement only: it
+ * never enters the stat registry, so profiled and unprofiled runs
+ * stay architecturally bit-identical.
+ */
+struct StageProfile
+{
+    enum Stage : unsigned
+    {
+        Retire,
+        Completion,
+        Execute,
+        Rename,
+        Fetch,
+        Stats,
+        kNumStages
+    };
+
+    std::array<std::uint64_t, kNumStages> ns{};
+    std::uint64_t ticks = 0;
+
+    static const char *name(unsigned stage);
 };
 
 /** The core. */
@@ -111,8 +137,12 @@ class Core
     unsigned robCriticalCap() const { return rob_.criticalCap(); }
     std::size_t robOccupancy() const { return rob_.occupancy(); }
 
+    /** Per-stage host-time breakdown (CoreConfig::profileStages). */
+    const StageProfile &profile() const { return profile_; }
+
   private:
     // --- Pipeline stages (called in reverse order each tick) ---
+    void tickProfiled();
     void retireStage();
     void completionStage();
     void executeStage();
@@ -135,6 +165,8 @@ class Core
     void issueStore(DynInst *inst);
     void scheduleCompletion(DynInst *inst, Cycle when);
     void finishInst(DynInst *inst);
+    void addRsWaiter(RegId reg, const DynInst *inst);
+    void wakeRsWaiters(RegId reg);
 
     // --- Recovery ---
     void recoverFromBranch(DynInst *branch);
@@ -179,7 +211,17 @@ class Core
     Lsq lsq_;
     ReservationStations rs_;
 
-    std::list<DynInst> inflight_;   //!< master pool, fetch order
+    /** Master in-flight pool: slab-allocated, threaded into an
+     *  intrusive doubly-linked list in fetch order via
+     *  DynInst::{prev,next}Idx. No per-instruction heap traffic. */
+    SlabPool<DynInst> inflightPool_;
+    std::uint32_t inflightHead_ = kNoInst; //!< oldest in flight
+    std::uint32_t inflightTail_ = kNoInst; //!< youngest in flight
+
+    /** RS entries parked until a physical register is written:
+     *  (pool handle, fetchSeq) pairs, validated at wake time. */
+    std::vector<std::vector<std::pair<std::uint32_t, SeqNum>>>
+        regWaiters_;
 
     CircularQueue<DynInst *> frontQ_;   //!< regular stream, pre-rename
     CircularQueue<DynInst *> critQ_;    //!< critical stream, pre-rename
@@ -267,7 +309,7 @@ class Core
     std::size_t critWpBbBase_ = 0;
 
     /** Critical-stream instructions by ts (for CMQ replay transfer). */
-    std::unordered_map<SeqNum, DynInst *> criticalByTs_;
+    FlatMap<SeqNum, DynInst *> criticalByTs_{kInvalidSeq};
 
     /** Per-BB criticality bits handed from critical to regular fetch. */
     struct BbInfo
@@ -317,7 +359,7 @@ class Core
     std::uint64_t raChainLoads_ = 0;
     unsigned raEpisodeLoads_ = 0;
     /** Last committed address per static load (stale-value model). */
-    std::unordered_map<Addr, Addr> lastRetiredLoadAddr_;
+    FlatMap<Addr, Addr> lastRetiredLoadAddr_{~Addr{0}};
     Cycle stallStartCycle_ = 0;
     bool stallCounting_ = false;
 
@@ -333,6 +375,7 @@ class Core
     SeqNum pendingDepViolationTs_ = kInvalidSeq;
 
     // --- Measurement ---
+    StageProfile profile_;
     Cycle measureStartCycle_ = 0;
     std::uint64_t measureStartRetired_ = 0;
     RunningMean mlpWhenActive_;

@@ -9,7 +9,6 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <unordered_set>
 
 namespace
 {
@@ -155,11 +154,10 @@ Core::renameRegularOne()
             std::fprintf(stderr, "[%lu] REPLAY ts=%lu\n", now_,
                          inst->ts);
         cdf::CmqEntry e = cmq_->pop();
-        DynInst *real = nullptr;
-        auto it = criticalByTs_.find(inst->ts);
-        SIM_ASSERT(it != criticalByTs_.end(),
+        DynInst *const *slot = criticalByTs_.find(inst->ts);
+        SIM_ASSERT(slot != nullptr,
                    "CMQ replay with no critical-stream instruction");
-        real = it->second;
+        DynInst *real = *slot;
         real->hasPoisonSnapshot = true;
         real->poisonSnapshot = rat_.poisonBits();
         if (inst->uop.writesReg()) {
@@ -258,17 +256,36 @@ Core::executeStage()
     auto ready = [&](DynInst *inst) {
         if (inst->state != InstState::Renamed)
             return false;
-        if (!prf_.isReady(inst->physSrc1, now_))
+        // Scheduling cache: a prior evaluation recorded when this
+        // entry can possibly become ready (a producer's broadcast
+        // ready-time, or "parked" until a register wakeup). Skipping
+        // early evaluations cannot change the outcome: a finite
+        // readyAt is broadcast exactly once per producer, and a
+        // parked entry is unparked by wakeRsWaiters the moment any
+        // awaited register is written.
+        if (inst->rsNextTry > now_)
             return false;
-        if (inst->isLoad() || inst->isStore()) {
-            // Loads need only the address register; store address
-            // generation likewise proceeds without the data. A load
-            // blocked on store-forwarding data re-attempts through
-            // accept() below (the store may retire or its data reg
-            // may be recycled, so no ready-gate is kept on it).
+        const Cycle r1 = inst->physSrc1 == kInvalidReg
+                             ? 0
+                             : prf_.readyAt(inst->physSrc1);
+        // Loads need only the address register; store address
+        // generation likewise proceeds without the data. A load
+        // blocked on store-forwarding data re-attempts through
+        // accept() below (the store may retire or its data reg
+        // may be recycled, so no ready-gate is kept on it).
+        const bool memOp = inst->isLoad() || inst->isStore();
+        const Cycle r2 = (memOp || inst->physSrc2 == kInvalidReg)
+                             ? 0
+                             : prf_.readyAt(inst->physSrc2);
+        const Cycle wait = std::max(r1, r2);
+        if (wait <= now_)
             return true;
-        }
-        return prf_.isReady(inst->physSrc2, now_);
+        inst->rsNextTry = wait;
+        if (r1 == kNeverCycle)
+            addRsWaiter(inst->physSrc1, inst);
+        if (r2 == kNeverCycle)
+            addRsWaiter(inst->physSrc2, inst);
+        return false;
     };
 
     auto accept = [&](DynInst *inst) {
@@ -359,13 +376,39 @@ Core::issueStore(DynInst *inst)
 }
 
 void
+Core::addRsWaiter(RegId reg, const DynInst *inst)
+{
+    regWaiters_[reg].emplace_back(inst->poolIdx, inst->fetchSeq);
+}
+
+void
+Core::wakeRsWaiters(RegId reg)
+{
+    auto &waiters = regWaiters_[reg];
+    if (waiters.empty())
+        return;
+    for (const auto &[idx, seq] : waiters) {
+        // The waiter may have been squashed (and its slot recycled)
+        // since parking; the (handle, fetchSeq) pair detects that.
+        if (!inflightPool_.alive(idx))
+            continue;
+        DynInst &w = inflightPool_.at(idx);
+        if (w.fetchSeq == seq)
+            w.rsNextTry = 0;
+    }
+    waiters.clear();
+}
+
+void
 Core::scheduleCompletion(DynInst *inst, Cycle when)
 {
     inst->completionCycle = when;
     // Broadcast the wakeup time immediately so dependents can be
     // scheduled back-to-back.
-    if (inst->physDst != kInvalidReg)
+    if (inst->physDst != kInvalidReg) {
         prf_.setReadyAt(inst->physDst, when);
+        wakeRsWaiters(inst->physDst);
+    }
     completions_.push({when, inst});
 }
 
@@ -547,9 +590,13 @@ Core::squashYoungerThan(SeqNum flushTs)
     // side structures can be filtered before any memory is freed.
     std::vector<DynInst *> squashed;
     squashOldestCkptValid_ = false;
-    for (DynInst &inst : inflight_) {
-        if (inst.ts > flushTs)
+    for (std::uint32_t i = inflightHead_; i != kNoInst;
+         i = inflightPool_.at(i).nextIdx) {
+        DynInst &inst = inflightPool_.at(i);
+        if (inst.ts > flushTs) {
+            inst.doomed = true;
             squashed.push_back(&inst);
+        }
     }
     // NOTE: even when no in-flight instruction is younger than the
     // flush point, the FIFO flushes further down must still run:
@@ -573,14 +620,11 @@ Core::squashYoungerThan(SeqNum flushTs)
         if (c.ts > flushTs)
             noteCkpt(c.ts, c.ckpt);
     }
-    std::unordered_set<const DynInst *> dead(squashed.begin(),
-                                             squashed.end());
-
     // Completion heap.
     std::vector<CompletionEvent> keep;
     keep.reserve(completions_.size());
     while (!completions_.empty()) {
-        if (!dead.count(completions_.top().inst))
+        if (!completions_.top().inst->doomed)
             keep.push_back(completions_.top());
         completions_.pop();
     }
@@ -588,8 +632,8 @@ Core::squashYoungerThan(SeqNum flushTs)
         completions_.push(ev);
 
     std::erase_if(pendingStores_,
-                  [&](DynInst *st) { return dead.count(st) > 0; });
-    if (pendingMemViolation_ && dead.count(pendingMemViolation_))
+                  [&](const DynInst *st) { return st->doomed; });
+    if (pendingMemViolation_ && pendingMemViolation_->doomed)
         pendingMemViolation_ = nullptr;
 
     // Frontend queues (entries are ts-ordered within each queue).
@@ -642,9 +686,9 @@ Core::squashYoungerThan(SeqNum flushTs)
         }
         if (inst->physDst != kInvalidReg)
             prf_.release(inst->physDst);
-        auto it = criticalByTs_.find(inst->ts);
-        if (it != criticalByTs_.end() && it->second == inst)
-            criticalByTs_.erase(it);
+        DynInst **slot = criticalByTs_.find(inst->ts);
+        if (slot && *slot == inst)
+            criticalByTs_.erase(inst->ts);
         destroyInst(inst);
     }
 

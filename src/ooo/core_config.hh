@@ -111,6 +111,13 @@ struct CoreConfig
     Cycle deadlockCycles = 2'000'000;
 
     /**
+     * Record host time per pipeline stage (Core::profile()). Purely
+     * a host-side measurement: it must never change architectural
+     * behaviour or any stat counter.
+     */
+    bool profileStages = false;
+
+    /**
      * Scale window resources for the Fig. 17 study: ROB, RS, LQ, SQ
      * and PRF all multiply by @p factor (rounded), as the paper
      * scales "other core structures proportionately".

@@ -90,7 +90,9 @@ Core::maybeEnterRunahead(const DynInst *head)
     // runahead and stay available. Walk the window in program
     // order, propagating unavailability through the dataflow.
     raTaint_.reset();
-    for (const DynInst &inst : inflight_) {
+    for (std::uint32_t i = inflightHead_; i != kNoInst;
+         i = inflightPool_.at(i).nextIdx) {
+        const DynInst &inst = inflightPool_.at(i);
         if (!inst.onPath || !inst.uop.writesReg())
             continue;
         bool tainted = false;
@@ -200,10 +202,9 @@ Core::runaheadStep(unsigned &budget)
                 // arbitrary wrong line (the extra memory traffic the
                 // paper attributes to runahead).
                 if (tainted && uop.isLoad()) {
-                    auto it = lastRetiredLoadAddr_.find(pc);
-                    if (it != lastRetiredLoadAddr_.end() &&
-                        (raChainLoads_ & 3) != 0) {
-                        rec.memAddr = it->second;
+                    const Addr *last = lastRetiredLoadAddr_.find(pc);
+                    if (last && (raChainLoads_ & 3) != 0) {
+                        rec.memAddr = *last;
                     } else {
                         rec.memAddr = garbageAddr(pc, raChainLoads_);
                     }

@@ -8,7 +8,6 @@
 #define CDFSIM_OOO_DYN_INST_HH
 
 #include <cstdint>
-#include <list>
 
 #include "bp/predictor.hh"
 #include "common/types.hh"
@@ -16,6 +15,9 @@
 
 namespace cdfsim::ooo
 {
+
+/** Null handle in the core's in-flight instruction pool. */
+inline constexpr std::uint32_t kNoInst = 0xFFFF'FFFFu;
 
 /** Progress of an instruction through the backend. */
 enum class InstState : std::uint8_t
@@ -68,7 +70,10 @@ struct DynInst
     Cycle renameCycle = 0;
     Cycle readyAtRename = 0;   //!< earliest cycle rename may process it
     Cycle completionCycle = kNeverCycle;
-    RegId extraWaitPhys = kInvalidReg; //!< e.g. store data for forwarding
+    /** Earliest cycle the RS scheduler must re-examine this entry:
+     *  0 = examine now, kNeverCycle = parked until a register
+     *  wakeup clears it. Pure scheduling cache, never architectural. */
+    Cycle rsNextTry = 0;
     bool llcMiss = false;      //!< this load went to DRAM
     bool l1Miss = false;
     SeqNum forwardSrcTs = 0;   //!< ts of SQ entry forwarded from (0: mem)
@@ -77,9 +82,14 @@ struct DynInst
     // --- Recovery state ---
     bool hasBpCheckpoint = false;
     bp::BpCheckpoint bpCheckpoint;
+    /** Transient mark set while a squash collects its victims. */
+    bool doomed = false;
 
-    /** Position in the core's master in-flight list (for O(1) erase). */
-    std::list<DynInst>::iterator selfIt;
+    /** Handle of this instruction in the core's slab pool, plus the
+     *  intrusive links of the master in-flight list (fetch order). */
+    std::uint32_t poolIdx = kNoInst;
+    std::uint32_t prevIdx = kNoInst;
+    std::uint32_t nextIdx = kNoInst;
 
     bool isLoad() const { return uop.isLoad(); }
     bool isStore() const { return uop.isStore(); }

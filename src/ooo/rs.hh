@@ -17,14 +17,26 @@
 namespace cdfsim::ooo
 {
 
-/** The reservation station pool. */
+/**
+ * The reservation station pool.
+ *
+ * Entries are held in two per-class vectors (critical / regular)
+ * kept sorted by timestamp, so the (critical-first, oldest-first)
+ * selection order of Section 3.5 falls out of plain iteration with
+ * no per-cycle sort. Insertions are append-only in the common case:
+ * within a class, dispatch hands instructions over in ts order and
+ * flushes only ever remove a youngest suffix, so the back of each
+ * vector stays the youngest entry (a sorted insert covers the
+ * remaining cases).
+ */
 class ReservationStations
 {
   public:
     explicit ReservationStations(unsigned size)
         : size_(size), critCap_(0)
     {
-        entries_.reserve(size);
+        crit_.reserve(size);
+        reg_.reserve(size);
     }
 
     unsigned size() const { return size_; }
@@ -35,9 +47,9 @@ class ReservationStations
     bool
     canInsert(bool critical) const
     {
-        if (entries_.size() >= size_)
+        if (crit_.size() + reg_.size() >= size_)
             return false;
-        if (critical && critCount_ >= critCap_)
+        if (critical && crit_.size() >= critCap_)
             return false;
         return true;
     }
@@ -46,9 +58,17 @@ class ReservationStations
     insert(DynInst *inst)
     {
         SIM_ASSERT(canInsert(inst->critical), "RS overflow");
-        entries_.push_back(inst);
-        if (inst->critical)
-            ++critCount_;
+        auto &v = inst->critical ? crit_ : reg_;
+        if (!v.empty() && v.back()->ts > inst->ts) {
+            v.insert(std::upper_bound(
+                         v.begin(), v.end(), inst,
+                         [](const DynInst *a, const DynInst *b) {
+                             return a->ts < b->ts;
+                         }),
+                     inst);
+        } else {
+            v.push_back(inst);
+        }
     }
 
     /**
@@ -61,77 +81,61 @@ class ReservationStations
     unsigned
     selectAndIssue(unsigned maxPick, ReadyFn &&ready, AcceptFn &&accept)
     {
-        if (entries_.empty() || maxPick == 0)
-            return 0;
-
-        // Gather ready candidates and order: critical first, oldest
-        // first within a class.
         scratch_.clear();
-        for (DynInst *inst : entries_) {
-            if (ready(inst))
-                scratch_.push_back(inst);
-        }
-        std::sort(scratch_.begin(), scratch_.end(),
-                  [](const DynInst *a, const DynInst *b) {
-                      if (a->critical != b->critical)
-                          return a->critical;
-                      return a->ts < b->ts;
-                  });
-
         unsigned issued = 0;
-        for (DynInst *inst : scratch_) {
-            if (issued >= maxPick)
-                break;
-            if (!accept(inst))
-                continue;
-            remove(inst);
-            ++issued;
+        for (auto *v : {&crit_, &reg_}) {
+            for (DynInst *inst : *v) {
+                if (issued >= maxPick)
+                    break;
+                if (!ready(inst) || !accept(inst))
+                    continue;
+                scratch_.push_back(inst);
+                ++issued;
+            }
         }
+        for (DynInst *inst : scratch_)
+            remove(inst);
         return issued;
     }
 
     void
     remove(DynInst *inst)
     {
-        auto it = std::find(entries_.begin(), entries_.end(), inst);
-        SIM_ASSERT(it != entries_.end(), "RS remove: not resident");
-        if (inst->critical)
-            --critCount_;
-        entries_.erase(it);
+        auto &v = inst->critical ? crit_ : reg_;
+        auto it = std::find(v.begin(), v.end(), inst);
+        SIM_ASSERT(it != v.end(), "RS remove: not resident");
+        v.erase(it);
     }
 
     unsigned
     flushYounger(SeqNum flushTs)
     {
         unsigned dropped = 0;
-        std::erase_if(entries_, [&](DynInst *inst) {
-            if (inst->ts > flushTs) {
-                if (inst->critical)
-                    --critCount_;
+        for (auto *v : {&crit_, &reg_}) {
+            while (!v->empty() && v->back()->ts > flushTs) {
+                v->pop_back();
                 ++dropped;
-                return true;
             }
-            return false;
-        });
+        }
         return dropped;
     }
 
-    std::size_t occupancy() const { return entries_.size(); }
-    std::size_t criticalOccupancy() const { return critCount_; }
-    bool full() const { return entries_.size() >= size_; }
+    std::size_t occupancy() const { return crit_.size() + reg_.size(); }
+    std::size_t criticalOccupancy() const { return crit_.size(); }
+    bool full() const { return occupancy() >= size_; }
 
     void
     clear()
     {
-        entries_.clear();
-        critCount_ = 0;
+        crit_.clear();
+        reg_.clear();
     }
 
   private:
     unsigned size_;
     unsigned critCap_;
-    unsigned critCount_ = 0;
-    std::vector<DynInst *> entries_;
+    std::vector<DynInst *> crit_; //!< ts-sorted critical entries
+    std::vector<DynInst *> reg_;  //!< ts-sorted regular entries
     std::vector<DynInst *> scratch_;
 };
 

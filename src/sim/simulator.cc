@@ -61,6 +61,7 @@ Simulator::run(const RunSpec &spec)
     r.energy = energy::Model::evaluate(config_, stats_,
                                        r.core.cycles);
     r.stats = stats_;
+    r.profile = core_->profile();
     return r;
 }
 

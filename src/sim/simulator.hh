@@ -42,6 +42,11 @@ struct RunResult
     ooo::CoreResult core;
     energy::EnergyReport energy;
     StatRegistry stats; //!< snapshot of the counters
+    /** Host-time per pipeline stage (CoreConfig::profileStages).
+     *  Host-side only: deliberately kept out of toJson(RunResult)
+     *  so profiled and unprofiled artifacts compare bit-identically
+     *  outside the "timing" object. */
+    ooo::StageProfile profile;
 
     /** The program ran out of instructions before measurement ended. */
     bool halted = false;

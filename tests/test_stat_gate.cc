@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Semantics-preservation gate for simulator hot-path work.
+ *
+ * Re-runs every workload under every core mode at the smoke-sweep
+ * instruction counts and asserts that the FNV-1a fingerprint of the
+ * full serialized run — core result, energy report, and every stat
+ * counter — is bit-identical to the committed golden table
+ * (tests/golden_stat_hashes.inc, generated from the pre-optimization
+ * simulator by tools/stat_gate_gen). Internal performance changes
+ * (allocators, scheduling structures, incremental hashing) must keep
+ * this green; an intended architectural change must regenerate the
+ * goldens and say so in the PR.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/hash.hh"
+#include "sim/sweep.hh"
+
+using namespace cdfsim;
+
+namespace
+{
+
+struct GoldenEntry
+{
+    const char *workload;
+    const char *mode;
+    std::uint64_t hash;
+};
+
+const GoldenEntry kGolden[] = {
+#include "golden_stat_hashes.inc"
+};
+
+} // namespace
+
+TEST(StatGate, BitIdenticalAcrossWorkloadsAndModes)
+{
+    sim::RunSpec spec;
+    spec.warmupInstrs = 2'000;
+    spec.measureInstrs = 3'000;
+    spec.maxCycles = 5'000'000;
+
+    std::map<std::pair<std::string, std::string>, std::uint64_t>
+        golden;
+    for (const auto &g : kGolden)
+        golden[{g.workload, g.mode}] = g.hash;
+
+    std::vector<sim::SweepCell> cells;
+    for (const auto &name : workloads::allWorkloadNames()) {
+        for (auto mode :
+             {ooo::CoreMode::Baseline, ooo::CoreMode::Cdf,
+              ooo::CoreMode::Pre}) {
+            sim::SweepCell cell;
+            cell.workload = name;
+            cell.variant = sim::toString(mode);
+            cell.mode = mode;
+            cell.spec = spec;
+            cells.push_back(std::move(cell));
+        }
+    }
+    // Every golden row must still correspond to a live workload so a
+    // renamed/removed workload cannot silently shrink the gate.
+    EXPECT_EQ(cells.size(), std::size(kGolden));
+
+    const auto outcomes = sim::SweepRunner(0).runAll(cells);
+    for (const auto &o : outcomes) {
+        const auto key = std::make_pair(o.cell.workload,
+                                        o.cell.variant);
+        ASSERT_TRUE(golden.count(key))
+            << o.cell.workload << "/" << o.cell.variant
+            << " has no golden fingerprint; run tools/stat_gate_gen";
+        EXPECT_EQ(fnv1a64(sim::toJson(o).dump(-1)), golden[key])
+            << o.cell.workload << "/" << o.cell.variant
+            << " diverged from the pre-optimization behaviour; if "
+               "this stats change is intended, regenerate "
+               "tests/golden_stat_hashes.inc with tools/stat_gate_gen";
+    }
+}

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Offline diff for two bench JSON artifacts (BENCH_*.json).
+ *
+ * Pairs runs by (workload, variant), compares the headline metrics —
+ * IPC, MLP, and total energy — and flags any relative movement
+ * beyond a tolerance. Movements in the bad direction (IPC/MLP down,
+ * energy up) are regressions and make the exit code nonzero, so a CI
+ * step can gate a change on "the figures did not get worse":
+ *
+ *   bench_compare [--tolerance PCT] baseline.json candidate.json
+ *
+ * Improvements beyond tolerance are printed too (they mean the
+ * baseline artifact is stale) but do not fail the comparison.
+ * Missing rows, status changes (ok -> truncated/halted), and
+ * sweep-cell errors always count as regressions.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hh"
+
+using cdfsim::Json;
+
+namespace
+{
+
+struct Metric
+{
+    const char *section; //!< "core" or "energy"
+    const char *key;
+    bool higherIsBetter;
+};
+
+constexpr Metric kMetrics[] = {
+    {"core", "ipc", true},
+    {"core", "mlp", true},
+    {"energy", "total_uj", false},
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(stderr,
+                 "usage: bench_compare [--tolerance PCT] "
+                 "baseline.json candidate.json\n"
+                 "  --tolerance PCT  flag relative movements beyond "
+                 "PCT%% (default 1.0)\n");
+    std::exit(code);
+}
+
+Json
+load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_compare: cannot read %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    Json doc = Json::parse(buf.str(), &error);
+    if (doc.isNull()) {
+        std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(),
+                     error.c_str());
+        std::exit(2);
+    }
+    return doc;
+}
+
+/** (workload, variant) -> run object, in artifact order. */
+std::map<std::pair<std::string, std::string>, const Json *>
+indexRuns(const Json &doc, const std::string &path)
+{
+    const Json *runs = doc.find("runs");
+    if (!runs || runs->type() != Json::Type::Array) {
+        std::fprintf(stderr,
+                     "bench_compare: %s has no \"runs\" array\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::map<std::pair<std::string, std::string>, const Json *> out;
+    for (const Json &run : runs->items()) {
+        const Json *workload = run.find("workload");
+        const Json *variant = run.find("variant");
+        if (!workload || !variant)
+            continue;
+        out[{workload->asString(), variant->asString()}] = &run;
+    }
+    return out;
+}
+
+const Json *
+metricNode(const Json &run, const Metric &m)
+{
+    const Json *section = run.find(m.section);
+    return section ? section->find(m.key) : nullptr;
+}
+
+std::string
+runStatus(const Json &run)
+{
+    const Json *status = run.find("status");
+    return status ? status->asString() : "missing";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double tolerancePct = 1.0;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--tolerance") == 0) {
+            if (++i >= argc)
+                usage(2);
+            tolerancePct = std::strtod(argv[i], nullptr);
+        } else if (std::strncmp(arg, "--tolerance=", 12) == 0) {
+            tolerancePct = std::strtod(arg + 12, nullptr);
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            usage(0);
+        } else if (arg[0] == '-') {
+            std::fprintf(stderr,
+                         "bench_compare: unknown flag '%s'\n", arg);
+            usage(2);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.size() != 2)
+        usage(2);
+
+    const Json base = load(paths[0]);
+    const Json cand = load(paths[1]);
+    const auto baseRuns = indexRuns(base, paths[0]);
+    const auto candRuns = indexRuns(cand, paths[1]);
+
+    unsigned regressions = 0;
+    unsigned improvements = 0;
+    unsigned compared = 0;
+
+    for (const auto &[id, baseRun] : baseRuns) {
+        const std::string label = id.first + "/" + id.second;
+        const auto it = candRuns.find(id);
+        if (it == candRuns.end()) {
+            std::printf("REGRESSION  %-28s missing from %s\n",
+                        label.c_str(), paths[1].c_str());
+            ++regressions;
+            continue;
+        }
+        const Json &candRun = *it->second;
+
+        const std::string baseStatus = runStatus(*baseRun);
+        const std::string candStatus = runStatus(candRun);
+        if (baseStatus != candStatus) {
+            std::printf("REGRESSION  %-28s status %s -> %s\n",
+                        label.c_str(), baseStatus.c_str(),
+                        candStatus.c_str());
+            ++regressions;
+            continue;
+        }
+        if (baseStatus == "error")
+            continue; // neither side has metrics
+
+        for (const Metric &m : kMetrics) {
+            const Json *b = metricNode(*baseRun, m);
+            const Json *c = metricNode(candRun, m);
+            if (!b || !c)
+                continue;
+            const double bv = b->asNumber();
+            const double cv = c->asNumber();
+            ++compared;
+            // Relative movement; a zero baseline only matches a
+            // zero candidate.
+            const double deltaPct =
+                bv != 0.0 ? 100.0 * (cv - bv) / std::fabs(bv)
+                          : (cv == 0.0 ? 0.0 : 1e9);
+            if (std::fabs(deltaPct) <= tolerancePct)
+                continue;
+            const bool worse = m.higherIsBetter ? cv < bv : cv > bv;
+            std::printf("%-11s %-28s %s.%s %12.6g -> %-12.6g "
+                        "(%+.2f%%)\n",
+                        worse ? "REGRESSION" : "IMPROVEMENT",
+                        label.c_str(), m.section, m.key, bv, cv,
+                        deltaPct);
+            if (worse)
+                ++regressions;
+            else
+                ++improvements;
+        }
+    }
+
+    for (const auto &[id, run] : candRuns) {
+        (void)run;
+        if (baseRuns.find(id) == baseRuns.end()) {
+            std::printf("NEW         %s/%s only in %s\n",
+                        id.first.c_str(), id.second.c_str(),
+                        paths[1].c_str());
+        }
+    }
+
+    std::printf("%u metric(s) compared across %zu run(s): "
+                "%u regression(s), %u improvement(s) beyond %.2f%%\n",
+                compared, baseRuns.size(), regressions, improvements,
+                tolerancePct);
+    return regressions > 0 ? 1 : 0;
+}
