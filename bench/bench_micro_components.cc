@@ -15,6 +15,7 @@
 #include "isa/interpreter.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
+#include "mem/hierarchy.hh"
 #include "ooo/core.hh"
 #include "workloads/workloads.hh"
 
@@ -34,6 +35,55 @@ BM_CacheAccess(benchmark::State &state)
     }
 }
 BENCHMARK(BM_CacheAccess);
+
+// The per-cycle MLP sample from Core::statsStage: two outstanding-
+// miss queries every cycle against a miss-heavy demand/wrong-path
+// stream. Dominated by the queue-prune cost.
+static void
+BM_MlpSample(benchmark::State &state)
+{
+    StatRegistry stats;
+    mem::MemHierarchy mh(mem::HierarchyConfig{}, stats);
+    Random rng(4);
+    Cycle now = 0;
+    for (auto _ : state) {
+        ++now;
+        if ((now & 7) == 0) {
+            mh.dataAccess(rng.below(1 << 22) * 64,
+                          mem::AccessKind::DemandLoad, now);
+        }
+        if ((now & 15) == 0) {
+            mh.dataAccess(rng.below(1 << 22) * 64,
+                          mem::AccessKind::WrongPathLoad, now);
+        }
+        benchmark::DoNotOptimize(mh.outstandingDemandMisses(now) +
+                                 mh.outstandingUselessMisses(now));
+    }
+}
+BENCHMARK(BM_MlpSample);
+
+// The retire-time LLC classifier: repeated probes of a small working
+// set with no intervening fills (the common case inside one retire
+// burst).
+static void
+BM_WouldMissLlc(benchmark::State &state)
+{
+    StatRegistry stats;
+    mem::MemHierarchy mh(mem::HierarchyConfig{}, stats);
+    Random rng(5);
+    Cycle now = 0;
+    for (int i = 0; i < 4096; ++i) {
+        mh.dataAccess(rng.below(1 << 16) * 64,
+                      mem::AccessKind::DemandLoad, now += 4);
+    }
+    Addr probes[64];
+    for (Addr &a : probes)
+        a = rng.below(1 << 16) * 64;
+    std::size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mh.wouldMissLlc(probes[i++ & 63]));
+}
+BENCHMARK(BM_WouldMissLlc);
 
 static void
 BM_DramAccess(benchmark::State &state)
@@ -90,6 +140,24 @@ BM_CoreTickBaseline(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CoreTickBaseline);
+
+// Memory-bound kernels where the hierarchy dominates host time.
+static void
+BM_CoreTickWorkload(benchmark::State &state, const char *name)
+{
+    auto w = workloads::makeWorkload(name);
+    isa::MemoryImage mem = w.makeMemory();
+    StatRegistry stats;
+    ooo::CoreConfig cfg;
+    ooo::Core core(cfg, w.program, mem, stats);
+    for (auto _ : state)
+        core.tick();
+    state.counters["retired/cycle"] = benchmark::Counter(
+        static_cast<double>(core.retired()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_CoreTickWorkload, mcf, "mcf");
+BENCHMARK_CAPTURE(BM_CoreTickWorkload, lbm, "lbm");
 
 static void
 BM_CoreTickCdf(benchmark::State &state)

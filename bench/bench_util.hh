@@ -13,9 +13,18 @@
  *   --measure-instrs N   override the measurement window
  *   --warmup-instrs N    override the warmup window
  *   --max-cycles N       override the per-phase cycle budget
+ *   --shard i/N          run only cells j with j mod N == i
+ *   --profile            per-stage host-time breakdown
  *
  * Parallel and serial runs of the same matrix produce bit-identical
  * results (and bit-identical JSON modulo the "timing" object).
+ *
+ * Sharding is deterministic round-robin over the declared cell
+ * order, so the N shard artifacts of any --shard partition together
+ * cover exactly the full matrix; tools/bench_merge re-interleaves
+ * them into one artifact bit-identical (modulo "timing") to a
+ * single-process --shard 0/1 run. Sharded artifacts omit "derived"
+ * — whole-matrix aggregates are not computable from one shard.
  */
 
 #ifndef CDFSIM_BENCH_BENCH_UTIL_HH
@@ -172,17 +181,48 @@ class Harness
         cells_.push_back(std::move(cell));
     }
 
-    /** Execute every queued cell through the sweep runner. */
+    /** Execute this shard's share of the queued cells (the whole
+     *  matrix unless --shard was given). */
     void
     run()
     {
+        std::vector<sim::SweepCell> assigned;
+        std::vector<std::size_t> assignedIdx;
+        assigned.reserve(cells_.size());
+        for (std::size_t j = 0; j < cells_.size(); ++j) {
+            if (j % shardCount_ == shardIndex_) {
+                assigned.push_back(cells_[j]);
+                assignedIdx.push_back(j);
+            }
+        }
+        if (shardGiven_) {
+            std::fprintf(stderr,
+                         "%s: shard %u/%u runs %zu of %zu cells "
+                         "(tables cover this shard only)\n",
+                         name_.c_str(), shardIndex_, shardCount_,
+                         assigned.size(), cells_.size());
+        }
+
         const auto t0 = std::chrono::steady_clock::now();
-        outcomes_ = runner_.runAll(cells_);
+        std::vector<sim::SweepOutcome> got =
+            runner_.runAll(assigned);
         wallSeconds_ = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - t0)
                            .count();
+
+        outcomes_.clear();
+        outcomes_.resize(cells_.size());
+        for (std::size_t j = 0; j < cells_.size(); ++j) {
+            outcomes_[j].cell = cells_[j];
+            outcomes_[j].skipped = true;
+        }
+        for (std::size_t k = 0; k < got.size(); ++k)
+            outcomes_[assignedIdx[k]] = std::move(got[k]);
+
         for (const auto &o : outcomes_) {
-            if (!o.error.empty()) {
+            if (o.skipped) {
+                continue;
+            } else if (!o.error.empty()) {
                 std::fprintf(stderr, "warning: %s/%s failed: %s\n",
                              o.cell.workload.c_str(),
                              o.cell.variant.c_str(), o.error.c_str());
@@ -208,6 +248,12 @@ class Harness
             for (unsigned s = 0; s < ooo::StageProfile::kNumStages;
                  ++s)
                 total.ns[s] += o.run.profile.ns[s];
+            for (unsigned l = 0;
+                 l < mem::MemLevelProfile::kNumLevels; ++l) {
+                total.mem.ns[l] += o.run.profile.mem.ns[l];
+                total.mem.accesses[l] +=
+                    o.run.profile.mem.accesses[l];
+            }
             total.ticks += o.run.profile.ticks;
         }
         return total;
@@ -238,6 +284,22 @@ class Harness
                 100.0 * static_cast<double>(p.ns[s]) /
                     static_cast<double>(totalNs));
         }
+        // Memory-hierarchy time by deepest level reached — a
+        // breakdown *within* the stage rows above, not additional
+        // time.
+        std::fprintf(stderr, "of which, memory hierarchy:\n");
+        for (unsigned l = 0; l < mem::MemLevelProfile::kNumLevels;
+             ++l) {
+            std::fprintf(
+                stderr,
+                "  %-10s %8.1f ns/tick  %5.1f%%  (%llu accesses)\n",
+                mem::MemLevelProfile::name(l),
+                static_cast<double>(p.mem.ns[l]) /
+                    static_cast<double>(p.ticks),
+                100.0 * static_cast<double>(p.mem.ns[l]) /
+                    static_cast<double>(totalNs),
+                static_cast<unsigned long long>(p.mem.accesses[l]));
+        }
     }
 
     const sim::SweepOutcome &
@@ -260,7 +322,8 @@ class Harness
     bool
     ok(const std::string &workload, const std::string &variant) const
     {
-        return !outcome(workload, variant).failed();
+        const sim::SweepOutcome &o = outcome(workload, variant);
+        return !o.skipped && !o.failed();
     }
 
     std::size_t
@@ -291,17 +354,34 @@ class Harness
         doc["bench"] = name_;
         doc["schema_version"] = 1;
         Json runs = Json::array();
-        for (const auto &o : outcomes_)
+        std::size_t emitted = 0;
+        for (const auto &o : outcomes_) {
+            if (o.skipped)
+                continue;
             runs.push_back(sim::toJson(o));
+            ++emitted;
+        }
         doc["runs"] = std::move(runs);
-        if (derived_.size() > 0)
+        // Sharded artifacts omit "derived": whole-matrix aggregates
+        // (geomeans over every cell) are not computable from one
+        // shard, and bench_merge cannot reconstruct them. This also
+        // makes a --shard 0/1 run the byte-exact reference for a
+        // merged artifact.
+        if (!shardGiven_ && derived_.size() > 0)
             doc["derived"] = derived_;
         // Timing metadata lives in ONE object so results can be
         // compared bit-identically across thread counts by dropping
-        // the "timing" member.
+        // the "timing" member. Shard identity also lives here: it
+        // describes *this process*, not the simulated results.
         Json timing = Json::object();
         timing["threads"] = runner_.threads();
         timing["wall_seconds"] = wallSeconds_;
+        if (shardGiven_) {
+            Json shard = Json::object();
+            shard["index"] = shardIndex_;
+            shard["count"] = shardCount_;
+            timing["shard"] = std::move(shard);
+        }
         std::uint64_t measuredInstrs = 0;
         for (const auto &o : outcomes_)
             measuredInstrs += o.run.core.retiredInstrs;
@@ -322,7 +402,7 @@ class Harness
         }
         out << doc.dump(2);
         std::fprintf(stderr, "wrote %s (%zu runs)\n",
-                     jsonPath_.c_str(), outcomes_.size());
+                     jsonPath_.c_str(), emitted);
         return 0;
     }
 
@@ -340,6 +420,12 @@ class Harness
             obj[std::string(ooo::StageProfile::name(s)) + "_ns"] =
                 p.ns[s];
         }
+        for (unsigned l = 0; l < mem::MemLevelProfile::kNumLevels;
+             ++l) {
+            const std::string key = mem::MemLevelProfile::name(l);
+            obj[key + "_ns"] = p.mem.ns[l];
+            obj[key + "_accesses"] = p.mem.accesses[l];
+        }
         return obj;
     }
 
@@ -351,7 +437,8 @@ class Harness
             "usage: %s [--threads N] [--workloads a,b,c] "
             "[--json out.json]\n"
             "          [--measure-instrs N] [--warmup-instrs N] "
-            "[--max-cycles N] [--profile]\n",
+            "[--max-cycles N]\n"
+            "          [--shard i/N] [--profile]\n",
             name_.c_str());
         std::exit(code);
     }
@@ -395,6 +482,8 @@ class Harness
             } else if (matches(arg, "--max-cycles")) {
                 maxCycles_ = std::strtoull(value(i, "--max-cycles"),
                                            nullptr, 10);
+            } else if (matches(arg, "--shard")) {
+                parseShard(value(i, "--shard"));
             } else if (std::strcmp(arg, "--profile") == 0) {
                 profile_ = true;
             } else if (std::strcmp(arg, "--help") == 0 ||
@@ -406,6 +495,34 @@ class Harness
                 usage(2);
             }
         }
+    }
+
+    void
+    parseShard(const char *text)
+    {
+        char *end = nullptr;
+        const unsigned long idx = std::strtoul(text, &end, 10);
+        if (end == text || *end != '/') {
+            std::fprintf(stderr,
+                         "%s: --shard wants i/N (e.g. 0/3), got "
+                         "'%s'\n",
+                         name_.c_str(), text);
+            usage(2);
+        }
+        const char *countText = end + 1;
+        const unsigned long count =
+            std::strtoul(countText, &end, 10);
+        if (end == countText || *end != '\0' || count == 0 ||
+            idx >= count) {
+            std::fprintf(stderr,
+                         "%s: --shard %s is invalid (need "
+                         "0 <= i < N)\n",
+                         name_.c_str(), text);
+            usage(2);
+        }
+        shardIndex_ = static_cast<unsigned>(idx);
+        shardCount_ = static_cast<unsigned>(count);
+        shardGiven_ = true;
     }
 
     static void
@@ -430,6 +547,9 @@ class Harness
     std::uint64_t warmupInstrs_ = kUnset;
     std::uint64_t maxCycles_ = kUnset;
     bool profile_ = false;
+    unsigned shardIndex_ = 0;
+    unsigned shardCount_ = 1;
+    bool shardGiven_ = false;
 
     sim::SweepRunner runner_{1};
     std::vector<sim::SweepCell> cells_;

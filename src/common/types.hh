@@ -44,6 +44,10 @@ inline constexpr RegId kNumArchRegs = 64;
 /** Cache line size used throughout the hierarchy (Table 1: 64B). */
 inline constexpr Addr kLineBytes = 64;
 
+/** log2(kLineBytes), for shift-based line-number arithmetic. */
+inline constexpr unsigned kLineShift = 6;
+static_assert(Addr{1} << kLineShift == kLineBytes);
+
 /** Strip the intra-line offset from an address. */
 constexpr Addr
 lineAlign(Addr addr)

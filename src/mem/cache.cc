@@ -23,7 +23,9 @@ Cache::Cache(const CacheConfig &config, StatRegistry &stats)
       ways_(config.ways),
       latency_(config.latency),
       sets_(config.sizeBytes / (kLineBytes * config.ways)),
+      setMask_(sets_ - 1),
       mshrCap_(config.mshrs),
+      mshrs_(config.mshrs),
       accesses_(stats.counter(config.name + ".accesses")),
       hits_(stats.counter(config.name + ".hits")),
       misses_(stats.counter(config.name + ".misses")),
@@ -41,17 +43,6 @@ Cache::Cache(const CacheConfig &config, StatRegistry &stats)
     tags_.resize(sets_ * ways_);
 }
 
-Cache::Way *
-Cache::findLine(Addr line)
-{
-    Way *base = &tags_[setIndex(line) * ways_];
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (base[w].valid && base[w].lineAddr == line)
-            return &base[w];
-    }
-    return nullptr;
-}
-
 const Cache::Way *
 Cache::findLine(Addr line) const
 {
@@ -63,30 +54,37 @@ Cache::findLine(Addr line) const
     return nullptr;
 }
 
-Cache::Way &
-Cache::selectVictim(Addr line)
+Cache::Way *
+Cache::findLineAndVictim(Addr line, Way *&victim)
 {
     Way *base = &tags_[setIndex(line) * ways_];
-    Way *victim = &base[0];
+    Way *firstInvalid = nullptr;
+    Way *lruMin = base;
     for (unsigned w = 0; w < ways_; ++w) {
-        if (!base[w].valid)
-            return base[w];
-        if (base[w].lru < victim->lru)
-            victim = &base[w];
+        Way &cand = base[w];
+        if (!cand.valid) {
+            if (!firstInvalid)
+                firstInvalid = &cand;
+            continue;
+        }
+        if (cand.lineAddr == line) {
+            victim = nullptr; // hit: no victim needed
+            return &cand;
+        }
+        if (cand.lru < lruMin->lru)
+            lruMin = &cand;
     }
-    return *victim;
+    // Same choice the standalone victim scan made: the first invalid
+    // way wins, else the first way holding the minimum LRU stamp
+    // (lruMin starts at way 0 and only moves on strict <).
+    victim = firstInvalid ? firstInvalid : lruMin;
+    return nullptr;
 }
 
 void
 Cache::touch(Way &way)
 {
     way.lru = ++lruClock_;
-}
-
-void
-Cache::pruneMshrs(Cycle now)
-{
-    std::erase_if(mshrsInFlight_, [now](Cycle c) { return c <= now; });
 }
 
 bool
@@ -98,15 +96,28 @@ Cache::probe(Addr addr) const
 void
 Cache::invalidate(Addr addr)
 {
-    if (Way *way = findLine(lineAlign(addr)))
-        way->valid = false;
+    const Addr line = lineAlign(addr);
+    Way *base = &tags_[setIndex(line) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].lineAddr == line) {
+            base[w].valid = false;
+            ++tagGen_;
+            return;
+        }
+    }
 }
 
 void
 Cache::markDirty(Addr addr)
 {
-    if (Way *way = findLine(lineAlign(addr)))
-        way->dirty = true;
+    const Addr line = lineAlign(addr);
+    Way *base = &tags_[setIndex(line) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].lineAddr == line) {
+            base[w].dirty = true; // presence unchanged: no gen bump
+            return;
+        }
+    }
 }
 
 } // namespace cdfsim::mem

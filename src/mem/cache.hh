@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cycle_ring.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -74,7 +75,13 @@ class Cache
         CacheAccessOutcome out;
         ++accesses_;
 
-        Way *way = findLine(line);
+        // One set walk yields both the hit way and, on a miss, the
+        // victim (first invalid way, else LRU-minimum). Nothing
+        // between here and the fill mutates this cache's tags, so
+        // the fused walk picks the same victim the old second walk
+        // did.
+        Way *victim = nullptr;
+        Way *way = findLineAndVictim(line, victim);
         if (way) {
             out.hit = true;
             out.wasPrefetched = way->prefetched;
@@ -99,36 +106,35 @@ class Cache
             ++prefIssued_;
 
         // MSHR backpressure: a full MSHR file delays the request
-        // until the earliest outstanding miss completes.
+        // until the earliest outstanding miss completes. The ring is
+        // sorted, so "earliest" is its front — no scan.
         Cycle start = now + latency_;
-        pruneMshrs(now);
-        if (mshrsInFlight_.size() >= mshrCap_) {
-            Cycle earliest = kNeverCycle;
-            for (Cycle c : mshrsInFlight_)
-                earliest = std::min(earliest, c);
-            if (earliest != kNeverCycle && earliest > start) {
+        mshrs_.pruneUpTo(now);
+        if (mshrs_.size() >= mshrCap_) {
+            const Cycle earliest = mshrs_.earliest();
+            if (earliest > start) {
                 start = earliest;
                 ++mshrStalls_;
             }
         }
 
         const Cycle fillReady = missLatency(start);
-        mshrsInFlight_.push_back(fillReady);
+        mshrs_.push(fillReady);
 
-        Way &victim = selectVictim(line);
-        if (victim.valid && victim.dirty) {
+        if (victim->valid && victim->dirty) {
             out.evictedDirty = true;
-            out.evictedAddr = victim.lineAddr;
+            out.evictedAddr = victim->lineAddr;
             ++writebacks_;
         }
-        if (victim.valid && victim.prefetched)
+        if (victim->valid && victim->prefetched)
             ++prefUnused_;
-        victim.valid = true;
-        victim.lineAddr = line;
-        victim.dirty = isWrite;
-        victim.ready = fillReady;
-        victim.prefetched = isPrefetch;
-        touch(victim);
+        victim->valid = true;
+        victim->lineAddr = line;
+        victim->dirty = isWrite;
+        victim->ready = fillReady;
+        victim->prefetched = isPrefetch;
+        touch(*victim);
+        ++tagGen_; // the set's resident lines changed
 
         out.hit = false;
         out.ready = fillReady;
@@ -149,6 +155,14 @@ class Cache
     unsigned ways() const { return ways_; }
     std::size_t numSets() const { return sets_; }
 
+    /**
+     * Monotone counter bumped whenever the set of resident lines
+     * can change (fill or invalidate; LRU touches and dirty marks
+     * don't count). Lets callers memoize probe() results exactly:
+     * a cached answer is valid iff the generation is unchanged.
+     */
+    std::uint64_t tagGeneration() const { return tagGen_; }
+
   private:
     struct Way
     {
@@ -160,25 +174,28 @@ class Cache
         Cycle ready = 0;
     };
 
-    Way *findLine(Addr line);
     const Way *findLine(Addr line) const;
-    Way &selectVictim(Addr line);
+    Way *findLineAndVictim(Addr line, Way *&victim);
     void touch(Way &way);
-    void pruneMshrs(Cycle now);
 
+    // sets_ is asserted to be a nonzero power of two, so the set
+    // index is a shift and a mask — no integer division.
     std::size_t setIndex(Addr line) const
     {
-        return (line / kLineBytes) % sets_;
+        return static_cast<std::size_t>(line >> kLineShift) &
+               setMask_;
     }
 
     std::uint64_t size_;
     unsigned ways_;
     unsigned latency_;
     std::size_t sets_;
+    std::size_t setMask_;
     unsigned mshrCap_;
     std::vector<Way> tags_;        // sets_ * ways_, row-major by set
     std::uint64_t lruClock_ = 0;
-    std::vector<Cycle> mshrsInFlight_;
+    std::uint64_t tagGen_ = 0;
+    MonotonicCycleRing mshrs_;
 
     std::uint64_t &accesses_;
     std::uint64_t &hits_;

@@ -1,9 +1,21 @@
 #include "mem/hierarchy.hh"
 
+#include <chrono>
+
 #include "common/logging.hh"
 
 namespace cdfsim::mem
 {
+
+const char *
+MemLevelProfile::name(unsigned level)
+{
+    static const char *const kNames[kNumLevels] = {
+        "mem.l1", "mem.llc", "mem.dram",
+    };
+    SIM_ASSERT(level < kNumLevels, "bad memory level");
+    return kNames[level];
+}
 
 MemHierarchy::MemHierarchy(const HierarchyConfig &config,
                            StatRegistry &stats)
@@ -21,14 +33,6 @@ MemHierarchy::MemHierarchy(const HierarchyConfig &config,
 {
 }
 
-void
-MemHierarchy::prune(std::vector<Cycle> &v, Cycle now)
-{
-    // Completion times arrive out of order across banks, so this is
-    // an unordered prune rather than a FIFO pop.
-    std::erase_if(v, [now](Cycle c) { return c <= now; });
-}
-
 Cycle
 MemHierarchy::llcThenDram(Addr line, bool isWrite, Cycle start,
                           AccessKind kind, bool *llcHitOut)
@@ -42,11 +46,11 @@ MemHierarchy::llcThenDram(Addr line, bool isWrite, Cycle start,
               case AccessKind::DemandStore:
               case AccessKind::InstrFetch:
                 ++dramDemandReads_;
-                demandMissQueue_.push_back(dr.ready);
+                demandMisses_.add(dr.ready);
                 break;
               case AccessKind::WrongPathLoad:
                 ++dramWrongPathReads_;
-                uselessMissQueue_.push_back(dr.ready);
+                uselessMisses_.add(dr.ready);
                 break;
               case AccessKind::RunaheadLoad:
                 ++dramRunaheadReads_;
@@ -54,7 +58,7 @@ MemHierarchy::llcThenDram(Addr line, bool isWrite, Cycle start,
                 // they later turn out useful; the PRE controller
                 // reclassifies via its own stats. Here they appear in
                 // the demand queue so MLP reflects overlap on the bus.
-                demandMissQueue_.push_back(dr.ready);
+                demandMisses_.add(dr.ready);
                 break;
             }
             return dr.ready;
@@ -70,6 +74,33 @@ MemHierarchy::llcThenDram(Addr line, bool isWrite, Cycle start,
 
 MemAccessResult
 MemHierarchy::dataAccess(Addr addr, AccessKind kind, Cycle now)
+{
+    if (!profileEnabled_)
+        return dataAccessTimed(addr, kind, now);
+
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    const MemAccessResult res = dataAccessTimed(addr, kind, now);
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            clock::now() - t0)
+            .count());
+    recordProfile(res.l1Hit    ? MemLevelProfile::L1
+                  : res.llcHit ? MemLevelProfile::Llc
+                               : MemLevelProfile::Dram,
+                  ns);
+    return res;
+}
+
+void
+MemHierarchy::recordProfile(unsigned level, std::uint64_t ns)
+{
+    profile_.ns[level] += ns;
+    ++profile_.accesses[level];
+}
+
+MemAccessResult
+MemHierarchy::dataAccessTimed(Addr addr, AccessKind kind, Cycle now)
 {
     SIM_ASSERT(kind != AccessKind::InstrFetch,
                "instruction fetches go through instrAccess");
@@ -141,33 +172,66 @@ MemHierarchy::issuePrefetches(Addr trigger, bool wasLlcMiss, Cycle now)
 Cycle
 MemHierarchy::instrAccess(Addr pc, Cycle now)
 {
+    unsigned level = MemLevelProfile::L1;
+    if (!profileEnabled_)
+        return instrAccessTimed(pc, now, level);
+
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    const Cycle ready = instrAccessTimed(pc, now, level);
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            clock::now() - t0)
+            .count());
+    recordProfile(level, ns);
+    return ready;
+}
+
+Cycle
+MemHierarchy::instrAccessTimed(Addr pc, Cycle now, unsigned &level)
+{
     const Addr addr = codeAddr(pc);
     bool llcHit = false;
+    bool reachedLlc = false;
     auto out = l1i_.access(addr, false, now, [&](Cycle start) {
+        reachedLlc = true;
         return llcThenDram(lineAlign(addr), false, start,
                            AccessKind::InstrFetch, &llcHit);
     });
+    level = !reachedLlc ? MemLevelProfile::L1
+            : llcHit    ? MemLevelProfile::Llc
+                        : MemLevelProfile::Dram;
     return out.ready;
 }
 
 bool
 MemHierarchy::wouldMissLlc(Addr addr) const
 {
-    return !l1d_.probe(addr) && !llc_.probe(addr);
+    const Addr line = lineAlign(addr);
+    const std::uint64_t gen =
+        l1d_.tagGeneration() + llc_.tagGeneration();
+    ProbeCacheEntry &e =
+        probeCache_[static_cast<std::size_t>(line >> kLineShift) &
+                    (kProbeCacheSlots - 1)];
+    if (e.line == line && e.gen == gen)
+        return e.miss;
+    const bool miss = !l1d_.probe(line) && !llc_.probe(line);
+    e = {line, gen, miss};
+    return miss;
 }
 
 unsigned
 MemHierarchy::outstandingDemandMisses(Cycle now)
 {
-    prune(demandMissQueue_, now);
-    return static_cast<unsigned>(demandMissQueue_.size());
+    demandMisses_.advanceTo(now);
+    return static_cast<unsigned>(demandMisses_.outstanding());
 }
 
 unsigned
 MemHierarchy::outstandingUselessMisses(Cycle now)
 {
-    prune(uselessMissQueue_, now);
-    return static_cast<unsigned>(uselessMissQueue_.size());
+    uselessMisses_.advanceTo(now);
+    return static_cast<unsigned>(uselessMisses_.outstanding());
 }
 
 } // namespace cdfsim::mem

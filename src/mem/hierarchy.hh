@@ -13,8 +13,10 @@
 #ifndef CDFSIM_MEM_HIERARCHY_HH
 #define CDFSIM_MEM_HIERARCHY_HH
 
-#include <vector>
+#include <array>
+#include <cstdint>
 
+#include "common/cycle_ring.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/cache.hh"
@@ -41,6 +43,29 @@ struct MemAccessResult
     bool l1Hit = false;
     bool llcHit = false;     //!< serviced at the LLC (after L1 miss)
     bool llcMiss = false;    //!< had to go to DRAM
+};
+
+/**
+ * Host-time attribution of hierarchy work, by the deepest level an
+ * access reached. Filled only when profiling is enabled (the
+ * --profile flag); purely host-side, never enters the stat
+ * registry, so profiled and unprofiled runs stay architecturally
+ * bit-identical.
+ */
+struct MemLevelProfile
+{
+    enum Level : unsigned
+    {
+        L1,   //!< satisfied by L1I / L1D
+        Llc,  //!< L1 miss serviced at the LLC
+        Dram, //!< went all the way to DRAM
+        kNumLevels
+    };
+
+    std::array<std::uint64_t, kNumLevels> ns{};
+    std::array<std::uint64_t, kNumLevels> accesses{};
+
+    static const char *name(unsigned level);
 };
 
 /** Hierarchy configuration (Table 1 defaults). */
@@ -86,6 +111,10 @@ class MemHierarchy
     /** DRAM bytes moved so far. */
     std::uint64_t dramBytes() const { return dram_.totalBytes(); }
 
+    /** Toggle host-time per-level profiling (off by default). */
+    void enableProfile(bool on) { profileEnabled_ = on; }
+    const MemLevelProfile &profile() const { return profile_; }
+
     Cache &l1d() { return l1d_; }
     Cache &llc() { return llc_; }
     DramModel &dram() { return dram_; }
@@ -106,7 +135,11 @@ class MemHierarchy
                       AccessKind kind, bool *llcHitOut);
 
     void issuePrefetches(Addr trigger, bool wasLlcMiss, Cycle now);
-    static void prune(std::vector<Cycle> &v, Cycle now);
+
+    MemAccessResult dataAccessTimed(Addr addr, AccessKind kind,
+                                    Cycle now);
+    Cycle instrAccessTimed(Addr pc, Cycle now, unsigned &level);
+    void recordProfile(unsigned level, std::uint64_t ns);
 
     HierarchyConfig config_;
     StatRegistry &stats_;
@@ -116,8 +149,30 @@ class MemHierarchy
     DramModel dram_;
     StreamPrefetcher prefetcher_;
 
-    std::vector<Cycle> demandMissQueue_;
-    std::vector<Cycle> uselessMissQueue_;
+    // Outstanding DRAM misses, bucketed by completion cycle. The
+    // MLP sampler reads these every cycle, so the prune must not
+    // scale with the number of misses in flight.
+    CycleCountRing demandMisses_;
+    CycleCountRing uselessMisses_;
+
+    /**
+     * Memoized wouldMissLlc() answers. An entry is exact while the
+     * L1D and LLC tag generations both stand still: any fill or
+     * invalidate bumps a generation and orphans the entry. The two
+     * generations are folded into one key by summing (both only
+     * ever grow, so the sum can never return to an old value).
+     */
+    struct ProbeCacheEntry
+    {
+        Addr line = ~Addr{0}; //!< never a line-aligned address
+        std::uint64_t gen = 0;
+        bool miss = false;
+    };
+    static constexpr std::size_t kProbeCacheSlots = 64;
+    mutable std::array<ProbeCacheEntry, kProbeCacheSlots> probeCache_{};
+
+    bool profileEnabled_ = false;
+    MemLevelProfile profile_;
 
     std::uint64_t lastPrefUseful_ = 0;
     std::uint64_t lastPrefIssued_ = 0;

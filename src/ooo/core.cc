@@ -77,6 +77,9 @@ Core::Core(const CoreConfig &config, const isa::Program &program,
     }
 
     regWaiters_.resize(config_.physRegs);
+    completions_.reserve(config_.robSize + 8);
+    completionsScratch_.reserve(config_.robSize + 8);
+    mem_.enableProfile(config_.profileStages);
 
     const bool wantsCdfStructures =
         config_.mode == CoreMode::Cdf || config_.observeCriticality;

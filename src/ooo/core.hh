@@ -83,6 +83,10 @@ struct StageProfile
     std::array<std::uint64_t, kNumStages> ns{};
     std::uint64_t ticks = 0;
 
+    /** Host time inside the memory hierarchy, by deepest level
+     *  reached (a breakdown *within* the stage rows above). */
+    mem::MemLevelProfile mem;
+
     static const char *name(unsigned stage);
 };
 
@@ -138,7 +142,13 @@ class Core
     std::size_t robOccupancy() const { return rob_.occupancy(); }
 
     /** Per-stage host-time breakdown (CoreConfig::profileStages). */
-    const StageProfile &profile() const { return profile_; }
+    StageProfile
+    profile() const
+    {
+        StageProfile p = profile_;
+        p.mem = mem_.profile();
+        return p;
+    }
 
   private:
     // --- Pipeline stages (called in reverse order each tick) ---
@@ -230,7 +240,15 @@ class Core
     // outstanding; completed when the data register becomes ready.
     std::vector<DynInst *> pendingStores_;
 
-    // Completion event queue ordered by cycle.
+    // Completion event queue ordered by cycle. A raw min-heap
+    // (push_heap/pop_heap over a reusable vector, the exact
+    // operations std::priority_queue performs) so the squash filter
+    // can rebuild it without re-heapifying: draining a min-heap
+    // yields ascending order, and an ascending sequence laid down
+    // in order *is* a valid heap with the same layout the
+    // equivalent push_heap calls would produce. Same-cycle pop
+    // order — which feeds predictor updates — is therefore
+    // bit-identical to the old priority_queue.
     struct CompletionEvent
     {
         Cycle when;
@@ -240,9 +258,8 @@ class Core
             return when > o.when;
         }
     };
-    std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,
-                        std::greater<CompletionEvent>>
-        completions_;
+    std::vector<CompletionEvent> completions_;
+    std::vector<CompletionEvent> completionsScratch_;
 
     // --- Frontend state (regular mode) ---
     Cycle now_ = 0;

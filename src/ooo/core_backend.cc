@@ -409,7 +409,9 @@ Core::scheduleCompletion(DynInst *inst, Cycle when)
         prf_.setReadyAt(inst->physDst, when);
         wakeRsWaiters(inst->physDst);
     }
-    completions_.push({when, inst});
+    completions_.push_back({when, inst});
+    std::push_heap(completions_.begin(), completions_.end(),
+                   std::greater<CompletionEvent>{});
 }
 
 // ---------------------------------------------------------------------
@@ -419,9 +421,12 @@ Core::scheduleCompletion(DynInst *inst, Cycle when)
 void
 Core::completionStage()
 {
-    while (!completions_.empty() && completions_.top().when <= now_) {
-        DynInst *inst = completions_.top().inst;
-        completions_.pop();
+    while (!completions_.empty() &&
+           completions_.front().when <= now_) {
+        std::pop_heap(completions_.begin(), completions_.end(),
+                      std::greater<CompletionEvent>{});
+        DynInst *inst = completions_.back().inst;
+        completions_.pop_back();
         finishInst(inst);
     }
 }
@@ -620,16 +625,21 @@ Core::squashYoungerThan(SeqNum flushTs)
         if (c.ts > flushTs)
             noteCkpt(c.ts, c.ckpt);
     }
-    // Completion heap.
-    std::vector<CompletionEvent> keep;
-    keep.reserve(completions_.size());
+    // Completion heap: drain in heap order, keep survivors. The
+    // drained sequence is ascending, so the survivor vector is
+    // already a valid min-heap with exactly the layout the old
+    // re-push loop produced — swap it in, no rebuild.
+    completionsScratch_.clear();
+    completionsScratch_.reserve(completions_.size());
     while (!completions_.empty()) {
-        if (!completions_.top().inst->doomed)
-            keep.push_back(completions_.top());
-        completions_.pop();
+        std::pop_heap(completions_.begin(), completions_.end(),
+                      std::greater<CompletionEvent>{});
+        const CompletionEvent ev = completions_.back();
+        completions_.pop_back();
+        if (!ev.inst->doomed)
+            completionsScratch_.push_back(ev);
     }
-    for (const auto &ev : keep)
-        completions_.push(ev);
+    completions_.swap(completionsScratch_);
 
     std::erase_if(pendingStores_,
                   [&](const DynInst *st) { return st->doomed; });

@@ -229,9 +229,10 @@ Core::runaheadStep(unsigned &budget)
                 ++raEpisodeLoads_;
                 --loadBudget;
                 // Skip lines already present or in flight at the
-                // LLC: runahead prefetches each miss once.
-                if (!mem_.llc().probe(rec.memAddr) &&
-                    !mem_.l1d().probe(rec.memAddr)) {
+                // LLC: runahead prefetches each miss once. The
+                // memoized classifier answers repeat probes of the
+                // same chain without walking the tag arrays.
+                if (mem_.wouldMissLlc(rec.memAddr)) {
                     mem_.dataAccess(rec.memAddr,
                                     mem::AccessKind::RunaheadLoad,
                                     now_);

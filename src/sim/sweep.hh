@@ -45,6 +45,10 @@ struct SweepOutcome
     RunResult run;
     /** Non-empty when the cell died with a panic/fatal error. */
     std::string error;
+    /** The cell belongs to another shard and was never executed
+     *  (bench::Harness --shard). Not a failure: the row simply has
+     *  no data in this process. */
+    bool skipped = false;
 
     bool failed() const { return !error.empty() || !run.ok(); }
 };

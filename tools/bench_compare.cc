@@ -204,12 +204,16 @@ main(int argc, char **argv)
         }
     }
 
+    // A row on only one side is a coverage failure either way: a
+    // run that silently appeared is as suspect as one that silently
+    // vanished (a renamed variant would otherwise pass the gate).
     for (const auto &[id, run] : candRuns) {
         (void)run;
         if (baseRuns.find(id) == baseRuns.end()) {
-            std::printf("NEW         %s/%s only in %s\n",
+            std::printf("REGRESSION  %s/%s only in %s\n",
                         id.first.c_str(), id.second.c_str(),
                         paths[1].c_str());
+            ++regressions;
         }
     }
 

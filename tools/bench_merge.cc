@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Merge the shard artifacts of a sharded bench sweep back into one
+ * schema-valid BENCH_*.json.
+ *
+ * bench::Harness --shard i/N assigns cell j to shard j mod N, so
+ * shard s's k-th run was originally cell s + k*N. Given all N shard
+ * artifacts, interleaving by original index reconstructs the exact
+ * run order of a single-process sweep; the merged document is
+ * bit-identical (modulo the "timing" object) to one produced by a
+ * --shard 0/1 run of the same matrix.
+ *
+ *   bench_merge -o merged.json [--verify-identical ref.json]
+ *               shard0.json shard1.json ...
+ *
+ * Validation: every input must carry the same bench name and
+ * schema_version plus timing.shard metadata, the shard set must be
+ * complete ({0..N-1}, each exactly once) with round-robin-shaped
+ * run counts, and (workload, variant) keys must be disjoint across
+ * shards. Any violation exits 2 without writing output.
+ * --verify-identical compares the merged document against a
+ * reference artifact byte-for-byte after dropping "timing" on both
+ * sides (exit 1 on mismatch) — the ctest round-trip uses this.
+ *
+ * "derived" values are whole-matrix aggregates; shards do not carry
+ * them and the merge cannot reconstruct them, so merged artifacts
+ * have none (by design, matching --shard 0/1 output).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hh"
+
+using cdfsim::Json;
+
+namespace
+{
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: bench_merge -o merged.json "
+        "[--verify-identical ref.json] shard.json...\n"
+        "  -o FILE                 output path (required)\n"
+        "  --verify-identical REF  after merging, require the result "
+        "to match REF\n"
+        "                          byte-for-byte modulo \"timing\" "
+        "(exit 1 if not)\n");
+    std::exit(code);
+}
+
+[[noreturn]] void
+die(const std::string &what)
+{
+    std::fprintf(stderr, "bench_merge: %s\n", what.c_str());
+    std::exit(2);
+}
+
+Json
+load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        die("cannot read " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    Json doc = Json::parse(buf.str(), &error);
+    if (doc.isNull())
+        die(path + ": " + error);
+    return doc;
+}
+
+/** Fetch doc[key] or die naming the artifact. */
+const Json &
+need(const Json &doc, const char *key, const std::string &path)
+{
+    const Json *v = doc.find(key);
+    if (!v)
+        die(path + " has no \"" + key + "\" member");
+    return *v;
+}
+
+struct Shard
+{
+    std::string path;
+    Json doc;
+    unsigned index = 0;
+    unsigned count = 0;
+};
+
+/** The document minus its "timing" member, for byte comparison. */
+Json
+withoutTiming(const Json &doc)
+{
+    Json out = Json::object();
+    for (const auto &[key, value] : doc.members()) {
+        if (key != "timing")
+            out[key] = value;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string outPath;
+    std::string verifyPath;
+    std::vector<std::string> inputs;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "-o") == 0 ||
+            std::strcmp(arg, "--output") == 0) {
+            if (++i >= argc)
+                usage(2);
+            outPath = argv[i];
+        } else if (std::strcmp(arg, "--verify-identical") == 0) {
+            if (++i >= argc)
+                usage(2);
+            verifyPath = argv[i];
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            usage(0);
+        } else if (arg[0] == '-') {
+            std::fprintf(stderr, "bench_merge: unknown flag '%s'\n",
+                         arg);
+            usage(2);
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (outPath.empty() || inputs.empty())
+        usage(2);
+
+    // Load and validate each shard's identity metadata.
+    std::vector<Shard> shards;
+    for (const std::string &path : inputs) {
+        Shard s;
+        s.path = path;
+        s.doc = load(path);
+        const Json &timing = need(s.doc, "timing", path);
+        const Json *shardMeta = timing.find("shard");
+        if (!shardMeta) {
+            die(path +
+                " has no timing.shard metadata (not produced with "
+                "--shard?)");
+        }
+        s.index = static_cast<unsigned>(
+            need(*shardMeta, "index", path).asUint());
+        s.count = static_cast<unsigned>(
+            need(*shardMeta, "count", path).asUint());
+        shards.push_back(std::move(s));
+    }
+
+    const std::string bench =
+        need(shards[0].doc, "bench", shards[0].path).asString();
+    const std::uint64_t schema =
+        need(shards[0].doc, "schema_version", shards[0].path)
+            .asUint();
+    const unsigned count = shards[0].count;
+    for (const Shard &s : shards) {
+        if (need(s.doc, "bench", s.path).asString() != bench)
+            die(s.path + " is from a different bench");
+        if (need(s.doc, "schema_version", s.path).asUint() != schema)
+            die(s.path + " has a different schema_version");
+        if (s.count != count)
+            die(s.path + " was sharded " + std::to_string(s.count) +
+                " ways, not " + std::to_string(count));
+    }
+    if (shards.size() != count) {
+        die("got " + std::to_string(shards.size()) + " artifact(s) " +
+            "for a " + std::to_string(count) + "-way shard split");
+    }
+
+    std::sort(shards.begin(), shards.end(),
+              [](const Shard &a, const Shard &b) {
+                  return a.index < b.index;
+              });
+    for (unsigned s = 0; s < count; ++s) {
+        if (shards[s].index != s)
+            die("shard index " + std::to_string(s) +
+                " is missing or duplicated");
+    }
+
+    // Collect per-shard run arrays and check the round-robin shape.
+    std::vector<const std::vector<Json> *> runsByShard;
+    std::size_t total = 0;
+    for (const Shard &s : shards) {
+        const Json &runs = need(s.doc, "runs", s.path);
+        if (runs.type() != Json::Type::Array)
+            die(s.path + ": \"runs\" is not an array");
+        runsByShard.push_back(&runs.items());
+        total += runs.size();
+    }
+    for (unsigned s = 0; s < count; ++s) {
+        const std::size_t expected = (total - s + count - 1) / count;
+        if (runsByShard[s]->size() != expected) {
+            die(shards[s].path + " has " +
+                std::to_string(runsByShard[s]->size()) +
+                " runs, expected " + std::to_string(expected) +
+                " for round-robin shard " + std::to_string(s) + "/" +
+                std::to_string(count));
+        }
+    }
+
+    // Interleave back into declaration order, checking that no
+    // (workload, variant) key appears in two shards.
+    Json runs = Json::array();
+    std::set<std::pair<std::string, std::string>> seen;
+    double wallSeconds = 0.0;
+    std::uint64_t retired = 0;
+    for (std::size_t k = 0; runs.size() < total; ++k) {
+        for (unsigned s = 0; s < count; ++s) {
+            if (k >= runsByShard[s]->size())
+                continue;
+            const Json &run = (*runsByShard[s])[k];
+            const Json *workload = run.find("workload");
+            const Json *variant = run.find("variant");
+            if (!workload || !variant)
+                die(shards[s].path + ": run without workload/variant");
+            if (!seen
+                     .insert({workload->asString(),
+                              variant->asString()})
+                     .second) {
+                die("duplicate run " + workload->asString() + "/" +
+                    variant->asString() + " across shards");
+            }
+            if (const Json *core = run.find("core")) {
+                if (const Json *r = core->find("retired_instrs"))
+                    retired += r->asUint();
+            }
+            runs.push_back(run);
+        }
+    }
+    for (const Shard &s : shards) {
+        const Json &timing = need(s.doc, "timing", s.path);
+        if (const Json *w = timing.find("wall_seconds"))
+            wallSeconds += w->asNumber();
+    }
+
+    Json doc = Json::object();
+    doc["bench"] = bench;
+    doc["schema_version"] = schema;
+    doc["runs"] = std::move(runs);
+    Json timing = Json::object();
+    timing["merged_from"] = count;
+    timing["wall_seconds"] = wallSeconds;
+    timing["sim_kuops_per_sec"] =
+        wallSeconds > 0.0
+            ? static_cast<double>(retired) / wallSeconds / 1e3
+            : 0.0;
+    doc["timing"] = std::move(timing);
+
+    if (!verifyPath.empty()) {
+        const Json ref = load(verifyPath);
+        const std::string got = withoutTiming(doc).dump(2);
+        const std::string want = withoutTiming(ref).dump(2);
+        if (got != want) {
+            std::fprintf(stderr,
+                         "bench_merge: merged artifact differs from "
+                         "%s (modulo \"timing\"): %zu vs %zu bytes\n",
+                         verifyPath.c_str(), got.size(), want.size());
+            return 1;
+        }
+        std::fprintf(stderr,
+                     "bench_merge: merged artifact is byte-identical "
+                     "to %s modulo \"timing\"\n",
+                     verifyPath.c_str());
+    }
+
+    std::ofstream out(outPath);
+    if (!out)
+        die("cannot write " + outPath);
+    out << doc.dump(2);
+    std::fprintf(stderr, "wrote %s (%zu runs from %u shards)\n",
+                 outPath.c_str(), total, count);
+    return 0;
+}
