@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 
 namespace cdfsim::bp
@@ -172,6 +173,14 @@ TagePredictionInfo
 Tage::predict(Addr pc)
 {
     ++lookups_;
+    // Folded-history drift check: the incrementally maintained folds
+    // must match a from-scratch recompute of the same history. Run
+    // at a sampled cadence — the naive recompute is O(history bits)
+    // per fold and would dominate an every-prediction audit.
+    SIM_AUDIT_ONLY(if (foldAudit_.due()) {
+        SIM_AUDIT(checkFolds(),
+                  "tage folded history diverged from naive recompute");
+    })
     TagePredictionInfo info;
 
     // Bimodal fallback.

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/audit.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -194,6 +195,7 @@ class Tage
     /** Layout: [3t]=index fold, [3t+1]=tag, [3t+2]=tag's second
      *  hash for table t; [3 * numTables]=statistical corrector. */
     std::array<FoldedHistory, kMaxTageFolds> folds_;
+    AuditSampler foldAudit_{4096};
 
     std::uint64_t &lookups_;
     std::uint64_t &scFlips_;

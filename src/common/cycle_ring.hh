@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 
@@ -71,6 +72,11 @@ class MonotonicCycleRing
             ++head_;
             --count_;
         }
+        // Prune boundary: whatever survives is strictly in the
+        // future, or the ring is empty.
+        SIM_AUDIT(count_ == 0 || buf_[head_ & mask] > now,
+                  "cycle ring kept an expired entry past pruneUpTo(",
+                  now, ")");
     }
 
     /** Insert @p c, keeping the ring sorted. */
@@ -87,6 +93,7 @@ class MonotonicCycleRing
         }
         buf_[(head_ + i) & mask] = c;
         ++count_;
+        SIM_AUDIT_ONLY(if (auditTick_.due()) auditInvariants();)
     }
 
     void
@@ -98,7 +105,27 @@ class MonotonicCycleRing
 
     std::size_t capacity() const { return buf_.size(); }
 
+    /**
+     * Monotonicity walk: the live entries read head to tail must be
+     * non-decreasing (earliest() and the prune loop both depend on
+     * it), and the live count must fit the buffer. O(size); sampled
+     * from push() in Audit builds.
+     */
+    void auditInvariants() const
+    {
+        SIM_ASSERT(count_ <= buf_.size(),
+                   "cycle ring holds more entries than its buffer");
+        const std::size_t mask = buf_.size() - 1;
+        for (std::size_t i = 1; i < count_; ++i) {
+            SIM_ASSERT(buf_[(head_ + i - 1) & mask] <=
+                           buf_[(head_ + i) & mask],
+                       "cycle ring lost sort order at live index ", i);
+        }
+    }
+
   private:
+    friend struct AuditPeer;
+
     void
     grow()
     {
@@ -113,6 +140,7 @@ class MonotonicCycleRing
     std::vector<Cycle> buf_;
     std::size_t head_ = 0; //!< free-running; index is head_ & mask
     std::size_t count_ = 0;
+    AuditSampler auditTick_{1024};
 };
 
 /**
@@ -143,6 +171,7 @@ class CycleCountRing
             grow(static_cast<std::size_t>(c - base_));
         ++counts_[c & (counts_.size() - 1)];
         ++outstanding_;
+        SIM_AUDIT_ONLY(if (auditTick_.due()) auditInvariants();)
     }
 
     /** Expire every bucket at or before @p now. Amortized O(1) per
@@ -176,7 +205,24 @@ class CycleCountRing
     Cycle cursor() const { return base_; }
     std::size_t horizon() const { return counts_.size(); }
 
+    /**
+     * Count-agreement walk: the cached outstanding total (which MLP
+     * sampling reads every cycle) must equal the sum of all live
+     * buckets. O(horizon); sampled from add() in Audit builds.
+     */
+    void auditInvariants() const
+    {
+        std::size_t sum = 0;
+        for (std::uint32_t c : counts_)
+            sum += c;
+        SIM_ASSERT(sum == outstanding_,
+                   "cycle count ring out of sync: buckets hold ", sum,
+                   " events but outstanding count is ", outstanding_);
+    }
+
   private:
+    friend struct AuditPeer;
+
     void
     grow(std::size_t needed)
     {
@@ -195,6 +241,7 @@ class CycleCountRing
     std::vector<std::uint32_t> counts_;
     Cycle base_ = 0; //!< cursor: cycles <= base_ are expired
     std::size_t outstanding_ = 0;
+    AuditSampler auditTick_{1024};
 };
 
 } // namespace cdfsim

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/audit.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
 
@@ -69,6 +70,7 @@ class FlatMap
         slots_[i].key = key;
         slots_[i].val = V{};
         ++size_;
+        SIM_AUDIT_ONLY(if (auditTick_.due()) auditInvariants();)
         return slots_[i].val;
     }
 
@@ -98,7 +100,9 @@ class FlatMap
         }
         slots_[hole].key = empty_;
         slots_[hole].val = V{};
+        SIM_ASSERT(size_ > 0, "erase with a zero size count");
         --size_;
+        SIM_AUDIT_ONLY(if (auditTick_.due()) auditInvariants();)
         return true;
     }
 
@@ -114,7 +118,35 @@ class FlatMap
     std::size_t size() const { return size_; }
     bool empty() const { return size_ == 0; }
 
+    /**
+     * Probe-chain integrity walk. For every occupied slot, the
+     * linear-probe path from the key's home slot must reach it
+     * without crossing an empty slot (otherwise find() would miss a
+     * present key — the failure mode of a buggy backward-shift
+     * delete), and the occupied count must match size_. O(capacity *
+     * probe length); sampled from the mutators in Audit builds.
+     */
+    void auditInvariants() const
+    {
+        std::size_t occupied = 0;
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (slots_[i].key == empty_)
+                continue;
+            ++occupied;
+            for (std::size_t j = home(slots_[i].key); j != i;
+                 j = (j + 1) & mask_) {
+                SIM_ASSERT(slots_[j].key != empty_,
+                           "flat map probe chain broken: key in slot ",
+                           i, " is unreachable past empty slot ", j);
+            }
+        }
+        SIM_ASSERT(occupied == size_,
+                   "flat map size count out of sync: ", occupied,
+                   " occupied slots vs size ", size_);
+    }
+
   private:
+    friend struct AuditPeer;
     struct Slot
     {
         K key;
@@ -144,6 +176,7 @@ class FlatMap
     std::vector<Slot> slots_;
     std::size_t mask_ = 0;
     std::size_t size_ = 0;
+    AuditSampler auditTick_{1024};
 };
 
 } // namespace cdfsim

@@ -12,6 +12,7 @@
 #include <new>
 #include <vector>
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 
 namespace cdfsim
@@ -56,9 +57,11 @@ class SlabPool
             grow();
         const std::uint32_t idx = freeList_.back();
         freeList_.pop_back();
+        SIM_ASSERT(!alive_[idx], "allocating a slot that is already live");
         ::new (slotPtr(idx)) T();
         alive_[idx] = 1;
         ++live_;
+        SIM_AUDIT_ONLY(if (auditTick_.due()) auditInvariants();)
         return idx;
     }
 
@@ -71,6 +74,7 @@ class SlabPool
         alive_[idx] = 0;
         freeList_.push_back(idx);
         --live_;
+        SIM_AUDIT_ONLY(if (auditTick_.due()) auditInvariants();)
     }
 
     T &at(std::uint32_t idx)
@@ -92,7 +96,40 @@ class SlabPool
     std::size_t liveCount() const { return live_; }
     std::size_t capacity() const { return alive_.size(); }
 
+    /**
+     * Full liveness/freelist consistency walk. Panics on the first
+     * violation: live + free must cover every slot exactly once, the
+     * alive bitmap must agree with the live count, and no freelist
+     * entry may be live, out of range, or duplicated. O(capacity);
+     * hot paths invoke it through a sampler in Audit builds only.
+     */
+    void auditInvariants() const
+    {
+        SIM_ASSERT(live_ + freeList_.size() == alive_.size(),
+                   "slab pool live/free slot accounting out of sync: ",
+                   live_, " live + ", freeList_.size(), " free != ",
+                   alive_.size(), " slots");
+        std::size_t flagged = 0;
+        for (std::uint8_t a : alive_)
+            flagged += a;
+        SIM_ASSERT(flagged == live_,
+                   "slab pool alive bitmap disagrees with live count: ",
+                   flagged, " flagged vs ", live_, " counted");
+        std::vector<std::uint8_t> seen(alive_.size(), 0);
+        for (std::uint32_t idx : freeList_) {
+            SIM_ASSERT(idx < alive_.size(),
+                       "slab pool free-list entry ", idx,
+                       " out of range");
+            SIM_ASSERT(!alive_[idx],
+                       "slab pool free-list entry ", idx, " is live");
+            SIM_ASSERT(!seen[idx],
+                       "slab pool free-list entry ", idx, " duplicated");
+            seen[idx] = 1;
+        }
+    }
+
   private:
+    friend struct AuditPeer;
     struct Slot
     {
         alignas(T) unsigned char raw[sizeof(T)];
@@ -126,6 +163,7 @@ class SlabPool
     std::vector<std::uint8_t> alive_;
     std::vector<std::uint32_t> freeList_;
     std::size_t live_ = 0;
+    AuditSampler auditTick_{4096};
 };
 
 } // namespace cdfsim

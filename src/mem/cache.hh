@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/audit.hh"
 #include "common/cycle_ring.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -110,6 +111,11 @@ class Cache
         // sorted, so "earliest" is its front — no scan.
         Cycle start = now + latency_;
         mshrs_.pruneUpTo(now);
+        // Ring/backpressure agreement: after the prune every live
+        // MSHR completes in the future, so a full file can only ever
+        // push the start cycle forward.
+        SIM_AUDIT(mshrs_.empty() || mshrs_.earliest() > now,
+                  "MSHR ring retains a completed miss after prune");
         if (mshrs_.size() >= mshrCap_) {
             const Cycle earliest = mshrs_.earliest();
             if (earliest > start) {
@@ -119,6 +125,8 @@ class Cache
         }
 
         const Cycle fillReady = missLatency(start);
+        SIM_AUDIT(fillReady >= start,
+                  "miss service completed before it started");
         mshrs_.push(fillReady);
 
         if (victim->valid && victim->dirty) {

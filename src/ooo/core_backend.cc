@@ -29,6 +29,7 @@ traceEv3(unsigned long ts)
 }
 } // namespace
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 #include "ooo/core.hh"
 
@@ -465,6 +466,9 @@ Core::retireStage()
         SIM_ASSERT(h->ts == nextRetireTs_,
                    "out-of-order retirement: ts ", h->ts, " expected ",
                    nextRetireTs_);
+        SIM_AUDIT(!h->doomed, "doomed instruction reached retire");
+        SIM_AUDIT(inflightPool_.alive(h->poolIdx),
+                  "retiring instruction is not live in the slab pool");
         ++nextRetireTs_;
 
         if (h->isLoad()) {
@@ -640,6 +644,20 @@ Core::squashYoungerThan(SeqNum flushTs)
             completionsScratch_.push_back(ev);
     }
     completions_.swap(completionsScratch_);
+    // The swapped-in survivor sequence must still be a valid
+    // min-heap (the rebuild argument above) and must reference no
+    // doomed instruction — a stale pointer here would be freed below
+    // and dereferenced at completion time.
+    SIM_AUDIT_ONLY({
+        SIM_AUDIT(std::is_heap(completions_.begin(),
+                               completions_.end(),
+                               std::greater<CompletionEvent>{}),
+                  "completion heap lost heap order in squash rebuild");
+        for (const CompletionEvent &ev : completions_)
+            SIM_AUDIT(!ev.inst->doomed,
+                      "doomed instruction survived the completion-heap "
+                      "squash filter");
+    })
 
     std::erase_if(pendingStores_,
                   [&](const DynInst *st) { return st->doomed; });
@@ -704,6 +722,30 @@ Core::squashYoungerThan(SeqNum flushTs)
 
     if (regRenamedThroughTs_ > flushTs + 1)
         regRenamedThroughTs_ = flushTs + 1;
+
+    // Doomed-flag/liveness agreement: every instruction still on the
+    // in-flight list survived the flush, so none may be younger than
+    // the flush point or still carry the doomed mark, and the
+    // intrusive links must agree with the pool's liveness bitmap.
+    SIM_AUDIT_ONLY({
+        std::uint32_t prev = kNoInst;
+        for (std::uint32_t i = inflightHead_; i != kNoInst;
+             i = inflightPool_.at(i).nextIdx) {
+            SIM_AUDIT(inflightPool_.alive(i),
+                      "in-flight list references a freed pool slot");
+            const DynInst &inst = inflightPool_.at(i);
+            SIM_AUDIT(inst.prevIdx == prev,
+                      "in-flight list prev/next links disagree");
+            SIM_AUDIT(!inst.doomed,
+                      "doomed instruction survived the squash walk");
+            SIM_AUDIT(inst.ts <= flushTs,
+                      "instruction younger than the flush point "
+                      "survived the squash");
+            prev = i;
+        }
+        SIM_AUDIT(inflightTail_ == prev,
+                  "in-flight tail does not terminate the list");
+    })
 }
 
 void

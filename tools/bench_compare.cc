@@ -115,10 +115,8 @@ runStatus(const Json &run)
     return status ? status->asString() : "missing";
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     double tolerancePct = 1.0;
     std::vector<std::string> paths;
@@ -222,4 +220,22 @@ main(int argc, char **argv)
                 compared, baseRuns.size(), regressions, improvements,
                 tolerancePct);
     return regressions > 0 ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Schema violations inside a parseable artifact (a string where a
+    // number belongs, say) surface as exceptions from the Json
+    // accessors; report them like any other bad input instead of
+    // aborting.
+    try {
+        return run(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "bench_compare: malformed artifact: %s\n",
+                     e.what());
+        return 2;
+    }
 }

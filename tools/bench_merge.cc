@@ -113,10 +113,8 @@ withoutTiming(const Json &doc)
     return out;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     std::string outPath;
     std::string verifyPath;
@@ -289,4 +287,22 @@ main(int argc, char **argv)
     std::fprintf(stderr, "wrote %s (%zu runs from %u shards)\n",
                  outPath.c_str(), total, count);
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Schema violations inside a parseable artifact (a string where a
+    // number belongs, say) surface as exceptions from the Json
+    // accessors; report them like any other bad input instead of
+    // aborting.
+    try {
+        return run(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "bench_merge: malformed artifact: %s\n",
+                     e.what());
+        return 2;
+    }
 }
