@@ -383,8 +383,18 @@ class Harness
             timing["shard"] = std::move(shard);
         }
         std::uint64_t measuredInstrs = 0;
-        for (const auto &o : outcomes_)
+        std::uint64_t skippedCycles = 0;
+        std::uint64_t skipEvents = 0;
+        for (const auto &o : outcomes_) {
             measuredInstrs += o.run.core.retiredInstrs;
+            skippedCycles += o.run.skippedCycles;
+            skipEvents += o.run.skipEvents;
+        }
+        // Idle-skip totals are host-side run metadata (the skipped
+        // cycles ARE simulated, just fast-forwarded), so they live
+        // in "timing" with the rest of the host measurements.
+        timing["skipped_cycles"] = skippedCycles;
+        timing["skip_events"] = skipEvents;
         timing["sim_kuops_per_sec"] =
             wallSeconds_ > 0.0
                 ? static_cast<double>(measuredInstrs) /

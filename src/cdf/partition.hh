@@ -51,16 +51,50 @@ class SectionPartition
     /** Record one stall cycle charged to a section being full. */
     void noteStall(bool criticalSection);
 
+    /** Bulk form of noteStall: @p n identically-charged cycles. */
+    void noteStallN(bool criticalSection, std::uint64_t n);
+
     /**
      * Evaluate the counters and resize if warranted. @p critOcc and
      * @p nonCritOcc are current occupancies; shrinks clamp to them.
      */
     void evaluate(unsigned critOcc, unsigned nonCritOcc);
 
+    /**
+     * Idle-skip support: with one noteStall(@p chargeCrit) /
+     * noteStall-non-critical(@p chargeNonCrit) charge per cycle
+     * followed by one evaluate() per cycle (occupancies frozen at
+     * @p critOcc / @p nonCritOcc), the number of cycles until an
+     * evaluate() actually changes criticalCap(); kNeverCycle when it
+     * provably never does. Threshold crossings whose resize clamps
+     * to zero only reset the counters — those stay internal to
+     * advanceCounters() and do not bound the caller's jump.
+     * Assumes the caller observed the post-evaluate state of the
+     * previous cycle (both counters strictly below trigger); returns
+     * 1 (no skip) when that does not hold.
+     */
+    Cycle cyclesUntilCapChange(bool chargeCrit, bool chargeNonCrit,
+                               unsigned critOcc,
+                               unsigned nonCritOcc) const;
+
+    /**
+     * Closed-form replay of @p n cycles of noteStall(@p chargeCrit /
+     * @p chargeNonCrit) + evaluate() with frozen occupancies,
+     * including any zero-resize counter resets inside the window.
+     * The caller must have bounded @p n by cyclesUntilCapChange();
+     * a cap change inside the window panics.
+     */
+    void advanceCounters(bool chargeCrit, bool chargeNonCrit,
+                         std::uint64_t n, unsigned critOcc,
+                         unsigned nonCritOcc);
+
     /** Reset to the initial split (on CDF episode boundaries). */
     void reset();
 
   private:
+    unsigned growAmount(unsigned nonCritOcc) const;
+    unsigned shrinkAmount(unsigned critOcc) const;
+
     unsigned total_;
     unsigned step_;
     unsigned minSection_;

@@ -202,6 +202,27 @@ class CycleCountRing
     /** Events still in flight (completion cycle > cursor). */
     std::size_t outstanding() const { return outstanding_; }
 
+    /**
+     * Cycle of the next non-empty bucket strictly after the cursor,
+     * or kNeverCycle when nothing is in flight. The outstanding()
+     * value is constant for every cycle in (cursor, nextEventCycle):
+     * the idle-skip fast path uses this bound to bulk-apply the
+     * per-cycle MLP sample. O(horizon) worst case, but only called
+     * when the core is quiescent.
+     */
+    Cycle
+    nextEventCycle() const
+    {
+        if (outstanding_ == 0)
+            return kNeverCycle;
+        const std::size_t mask = counts_.size() - 1;
+        for (std::size_t i = 1; i <= counts_.size(); ++i) {
+            if (counts_[(base_ + i) & mask] != 0)
+                return base_ + i;
+        }
+        panic("cycle count ring outstanding without a live bucket");
+    }
+
     Cycle cursor() const { return base_; }
     std::size_t horizon() const { return counts_.size(); }
 

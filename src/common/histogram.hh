@@ -98,6 +98,20 @@ class RunningMean
         ++n_;
     }
 
+    /**
+     * Account @p n samples of the same value in one step. Exactly
+     * equivalent to calling add(v) n times when v and v*n are
+     * integers below 2^53: integer-valued doubles add exactly, so
+     * v + v + ... (n times) == v * n bit-for-bit. The idle-skip fast
+     * path relies on this to bulk-apply the per-cycle MLP sample.
+     */
+    void
+    addRepeated(double v, std::uint64_t n)
+    {
+        sum_ += v * static_cast<double>(n);
+        n_ += n;
+    }
+
     double mean() const { return n_ == 0 ? 0.0 : sum_ / n_; }
     std::uint64_t samples() const { return n_; }
 

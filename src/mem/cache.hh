@@ -171,6 +171,20 @@ class Cache
      */
     std::uint64_t tagGeneration() const { return tagGen_; }
 
+    /**
+     * Earliest outstanding-miss completion strictly after @p now, or
+     * kNeverCycle with no misses in flight. Prunes expired MSHRs
+     * first — the same prune access() performs, just possibly a few
+     * cycles early, which is harmless: pruneUpTo is monotone and the
+     * ring only feeds backpressure decisions relative to "now".
+     */
+    Cycle
+    earliestEvent(Cycle now)
+    {
+        mshrs_.pruneUpTo(now);
+        return mshrs_.empty() ? kNeverCycle : mshrs_.earliest();
+    }
+
   private:
     struct Way
     {

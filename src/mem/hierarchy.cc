@@ -1,5 +1,6 @@
 #include "mem/hierarchy.hh"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/logging.hh"
@@ -217,7 +218,45 @@ MemHierarchy::wouldMissLlc(Addr addr) const
         return e.miss;
     const bool miss = !l1d_.probe(line) && !llc_.probe(line);
     e = {line, gen, miss};
+    SIM_AUDIT_ONLY(if (probeAudit_.due()) auditProbeCache();)
     return miss;
+}
+
+Cycle
+MemHierarchy::earliestEvent(Cycle now)
+{
+    // The MLP counters must be advanced before nextEventCycle() so
+    // the bound is relative to "now"; advanceTo is exactly what the
+    // per-cycle sampler would have done first anyway.
+    demandMisses_.advanceTo(now);
+    uselessMisses_.advanceTo(now);
+    Cycle earliest = std::min(demandMisses_.nextEventCycle(),
+                              uselessMisses_.nextEventCycle());
+    earliest = std::min(earliest, l1i_.earliestEvent(now));
+    earliest = std::min(earliest, l1d_.earliestEvent(now));
+    earliest = std::min(earliest, llc_.earliestEvent(now));
+    return earliest;
+}
+
+void
+MemHierarchy::auditProbeCache() const
+{
+    const std::uint64_t gen =
+        l1d_.tagGeneration() + llc_.tagGeneration();
+    for (std::size_t slot = 0; slot < kProbeCacheSlots; ++slot) {
+        const ProbeCacheEntry &e = probeCache_[slot];
+        if (e.line == ~Addr{0} || e.gen != gen)
+            continue; // empty or orphaned by a fill/invalidate
+        SIM_ASSERT((static_cast<std::size_t>(e.line >> kLineShift) &
+                    (kProbeCacheSlots - 1)) == slot,
+                   "probe cache entry for line ", e.line,
+                   " stored in the wrong slot ", slot);
+        const bool miss = !l1d_.probe(e.line) && !llc_.probe(e.line);
+        SIM_ASSERT(e.miss == miss,
+                   "probe cache entry for line ", e.line,
+                   " disagrees with live tags despite a current "
+                   "generation key");
+    }
 }
 
 unsigned

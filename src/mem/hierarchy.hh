@@ -16,6 +16,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/audit.hh"
 #include "common/cycle_ring.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -108,6 +109,27 @@ class MemHierarchy
     /** Outstanding useless (wrong-path / dead-runahead) misses. */
     unsigned outstandingUselessMisses(Cycle now);
 
+    /**
+     * Earliest cycle strictly after @p now at which anything in the
+     * memory system changes state on its own: an MSHR completing in
+     * any cache level, or an outstanding DRAM miss leaving the MLP
+     * counters. kNeverCycle when fully drained. The idle-skip fast
+     * path may jump the core clock to (but not past) this cycle;
+     * everything else in the hierarchy is access-driven and cannot
+     * act during the gap.
+     */
+    Cycle earliestEvent(Cycle now);
+
+    /**
+     * Probe-cache/tag agreement walk: every memoized wouldMissLlc()
+     * answer whose tag-generation key is still current must match a
+     * fresh probe of both levels. Stale-generation entries are
+     * unreachable (the lookup rejects them) and are not checked.
+     * Always compiled (cheap: 64 slots); sampled from wouldMissLlc()
+     * in Audit builds.
+     */
+    void auditProbeCache() const;
+
     /** DRAM bytes moved so far. */
     std::uint64_t dramBytes() const { return dram_.totalBytes(); }
 
@@ -173,6 +195,12 @@ class MemHierarchy
 
     bool profileEnabled_ = false;
     MemLevelProfile profile_;
+
+    // Qualified on purpose: an unqualified friend here would declare
+    // a fresh cdfsim::mem::AuditPeer instead of befriending the
+    // test-only backdoor forward-declared in common/audit.hh.
+    friend struct cdfsim::AuditPeer;
+    mutable AuditSampler probeAudit_{4096};
 
     std::uint64_t lastPrefUseful_ = 0;
     std::uint64_t lastPrefIssued_ = 0;

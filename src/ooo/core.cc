@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "ooo/trace_env.hh"
 
 namespace cdfsim::ooo
 {
@@ -15,22 +16,6 @@ namespace
 
 /** Uops per instruction cache line (8B encoding per uop). */
 constexpr Addr kUopsPerLine = kLineBytes / 8;
-
-bool
-traceEv(SeqNum ts)
-{
-    static const char *env = std::getenv("CDFSIM_TRACE_TS");
-    if (!env)
-        return false;
-    static unsigned long lo = 0, hi = 0;
-    static bool p = [] {
-        std::sscanf(std::getenv("CDFSIM_TRACE_TS"), "%lu:%lu", &lo,
-                    &hi);
-        return true;
-    }();
-    (void)p;
-    return ts >= lo && ts <= hi;
-}
 
 } // namespace
 
@@ -165,7 +150,7 @@ Core::makeInst(const isa::ExecRecord &rec, SeqNum ts, bool onPath)
     ++statFetched_;
     if (!onPath)
         ++statFetchedWrongPath_;
-    if (traceEv(ts)) {
+    if (traceTs(ts)) {
         std::fprintf(stderr,
                      "[%lu] MAKE ts=%lu pc=%lu onPath=%d %s\n", now_,
                      ts, rec.pc, onPath,
@@ -197,6 +182,7 @@ StageProfile::name(unsigned stage)
 {
     static const char *const kNames[kNumStages] = {
         "retire", "completion", "execute", "rename", "fetch", "stats",
+        "skip",
     };
     SIM_ASSERT(stage < kNumStages, "bad stage");
     return kNames[stage];
@@ -304,8 +290,22 @@ Core::tick()
 CoreResult
 Core::run(std::uint64_t maxRetired, Cycle maxCycles)
 {
-    while (!halted_ && retiredInstrs_ < maxRetired && now_ < maxCycles)
+    while (!halted_ && retiredInstrs_ < maxRetired &&
+           now_ < maxCycles) {
+        // Fast-forward provably dead cycles. On a jump, re-check the
+        // loop condition (the budget may expire inside the gap); the
+        // following tick() then executes the event cycle normally.
+        // The quiescence scan is gated on cheap heuristics so busy
+        // phases pay a compare, not a scan: a cycle that retired
+        // cannot be the start of a dead window, and a failed scan
+        // rate-limits itself (skipRecheckAt_). Gating only delays
+        // skips — the skipped cycles are pure no-ops either way — so
+        // stats stay bit-identical.
+        if (config_.skipIdleCycles && now_ > lastRetireCycle_ &&
+            now_ >= skipRecheckAt_ && maybeSkipIdleCycles(maxCycles))
+            continue;
         tick();
+    }
     return result();
 }
 
@@ -320,6 +320,8 @@ Core::resetMeasurement()
     fig1CriticalFrac_.reset();
     fullWindowStallCycles_ = 0;
     cdfModeCycles_ = 0;
+    skippedCycles_ = 0;
+    skipEvents_ = 0;
 }
 
 CoreResult

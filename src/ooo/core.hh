@@ -22,6 +22,7 @@
 
 #include "bp/predictor.hh"
 #include "cdf/critical_table.hh"
+#include "common/audit.hh"
 #include "cdf/fifos.hh"
 #include "cdf/fill_buffer.hh"
 #include "cdf/mask_cache.hh"
@@ -77,6 +78,7 @@ struct StageProfile
         Rename,
         Fetch,
         Stats,
+        Skip, //!< idle-cycle fast-forward (quiescence checks + jumps)
         kNumStages
     };
 
@@ -150,7 +152,27 @@ class Core
         return p;
     }
 
+    /** Cycles fast-forwarded by the idle-skip path since the last
+     *  resetMeasurement(). Host-side bookkeeping only — never a stat
+     *  counter, so skip-on and skip-off runs serialize identically. */
+    std::uint64_t skippedCycles() const { return skippedCycles_; }
+
+    /** Number of fast-forward jumps (each skips >= 1 cycle). */
+    std::uint64_t skipEvents() const { return skipEvents_; }
+
+    /**
+     * RS wakeup-cache agreement walk: every resident entry's cached
+     * rsNextTry must be consistent with actual operand readiness in
+     * the PRF, and every parked entry must hold a live registration
+     * in the per-register waiter lists it depends on. Always
+     * compiled (the walk is load-bearing for the idle-skip bound);
+     * sampled from the execute stage in Audit builds.
+     */
+    void auditRsWakeupCache() const;
+
   private:
+    friend struct cdfsim::AuditPeer; //!< test-only corruption access
+
     // --- Pipeline stages (called in reverse order each tick) ---
     void tickProfiled();
     void retireStage();
@@ -203,6 +225,41 @@ class Core
 
     bool icacheGate(Addr pc, unsigned &budget);
     bool frontStopped() const;
+
+    // --- Idle-cycle fast-forward (core_skip.cc) ---
+    /**
+     * If the core is provably quiescent, jump now_ to just before
+     * the next event (bounded by @p maxCycles and the deadlock
+     * watchdog), bulk-applying every per-cycle stat. Returns true if
+     * any cycles were skipped; the caller re-enters the run loop and
+     * the next tick() executes the event cycle normally.
+     */
+    bool maybeSkipIdleCycles(Cycle maxCycles);
+
+    /** What a blocked rename stage charges each stalled cycle. */
+    enum class RenameStallKind : unsigned char
+    {
+        Progress, //!< rename would advance: not quiescent
+        Quiet,    //!< blocked with no per-cycle counter side effect
+        RobNote,  //!< blocked charging robPart_->noteStall(false)
+        LqNote,   //!< blocked charging lqPart_->noteStall(false)
+        SqNote,   //!< blocked charging sqPart_->noteStall(false)
+    };
+    RenameStallKind classifyRenameStall(Cycle &bound) const;
+
+    /** Same idea for the critical rename stage (renameCritical). */
+    enum class CritRenameStallKind : unsigned char
+    {
+        Progress,    //!< would rename or copy the critical RAT
+        Quiet,       //!< blocked with no counter side effect
+        CritRobNote, //!< blocked charging robPart_->noteStall(true)
+        CritLqNote,  //!< blocked charging lqPart_->noteStall(true)
+        CritSqNote,  //!< blocked charging sqPart_->noteStall(true)
+    };
+    CritRenameStallKind classifyCritRenameStall(Cycle &bound) const;
+
+    Cycle nextEventCycle();
+    void bulkAccountSkippedCycles(std::uint64_t n);
 
     // ------------------------------------------------------------------
     CoreConfig config_;
@@ -395,6 +452,13 @@ class Core
     StageProfile profile_;
     Cycle measureStartCycle_ = 0;
     std::uint64_t measureStartRetired_ = 0;
+    // Host-side skip bookkeeping (see skippedCycles()).
+    std::uint64_t skippedCycles_ = 0;
+    std::uint64_t skipEvents_ = 0;
+    // Earliest cycle the run loop may re-attempt a quiescence scan
+    // after one failed to jump; purely a host-time rate limiter.
+    Cycle skipRecheckAt_ = 0;
+    mutable AuditSampler rsAudit_{4096};
     RunningMean mlpWhenActive_;
     RunningMean uselessMlpWhenActive_;
     RunningMean fig1CriticalFrac_;

@@ -10,28 +10,10 @@
 #include <cstdio>
 #include <cstdlib>
 
-namespace
-{
-bool
-traceEv3(unsigned long ts)
-{
-    static const char *env = std::getenv("CDFSIM_TRACE_TS");
-    if (!env)
-        return false;
-    static unsigned long lo = 0, hi = 0;
-    static bool p = [] {
-        std::sscanf(std::getenv("CDFSIM_TRACE_TS"), "%lu:%lu", &lo,
-                    &hi);
-        return true;
-    }();
-    (void)p;
-    return ts >= lo && ts <= hi;
-}
-} // namespace
-
 #include "common/audit.hh"
 #include "common/logging.hh"
 #include "ooo/core.hh"
+#include "ooo/trace_env.hh"
 
 namespace cdfsim::ooo
 {
@@ -115,7 +97,7 @@ Core::renameCritical(unsigned &slots)
         if (inst->isStore())
             lsq_.sq().insert(inst, true);
 
-        if (traceEv3(inst->ts))
+        if (traceTs(inst->ts))
             std::fprintf(stderr, "[%lu] CRITRENAME ts=%lu\n", now_,
                          inst->ts);
         cmq_->push({inst->ts, inst->uop.dst, inst->physDst,
@@ -151,7 +133,7 @@ Core::renameRegularOne()
             return false;
         }
 
-        if (traceEv3(inst->ts))
+        if (traceTs(inst->ts))
             std::fprintf(stderr, "[%lu] REPLAY ts=%lu\n", now_,
                          inst->ts);
         cdf::CmqEntry e = cmq_->pop();
@@ -309,6 +291,7 @@ Core::executeStage()
     };
 
     rs_.selectAndIssue(config_.issueWidth, ready, accept);
+    SIM_AUDIT_ONLY(if (rsAudit_.due()) auditRsWakeupCache();)
 
     if (pendingMemViolation_) {
         DynInst *ld = pendingMemViolation_;

@@ -12,27 +12,9 @@
 #include <cstdlib>
 #include <unordered_set>
 
-namespace
-{
-bool
-traceEv2(unsigned long ts)
-{
-    static const char *env = std::getenv("CDFSIM_TRACE_TS");
-    if (!env)
-        return false;
-    static unsigned long lo = 0, hi = 0;
-    static bool p = [] {
-        std::sscanf(std::getenv("CDFSIM_TRACE_TS"), "%lu:%lu", &lo,
-                    &hi);
-        return true;
-    }();
-    (void)p;
-    return ts >= lo && ts <= hi;
-}
-} // namespace
-
 #include "common/logging.hh"
 #include "ooo/core.hh"
+#include "ooo/trace_env.hh"
 
 namespace cdfsim::ooo
 {
@@ -140,7 +122,7 @@ Core::drainCriticalFrontend()
     std::unordered_set<SeqNum> dropped;
     while (!critQ_.empty()) {
         DynInst *inst = critQ_.pop();
-        if (traceEv2(inst->ts))
+        if (traceTs(inst->ts))
             std::fprintf(stderr, "[%lu] DROP ts=%lu\n", now_,
                          inst->ts);
         dropped.insert(inst->ts);
@@ -150,7 +132,7 @@ Core::drainCriticalFrontend()
         DynInst *copy = frontQ_.at(i);
         if (copy->critical && copy->cdfFetched &&
             dropped.count(copy->ts)) {
-            if (traceEv2(copy->ts))
+            if (traceTs(copy->ts))
                 std::fprintf(stderr, "[%lu] DEMOTE ts=%lu\n", now_,
                              copy->ts);
             copy->critical = false;

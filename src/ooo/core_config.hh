@@ -111,6 +111,16 @@ struct CoreConfig
     Cycle deadlockCycles = 2'000'000;
 
     /**
+     * Fast-forward provably quiescent cycles to the next event
+     * (memory completion, fetch-stall expiry, RS wakeup bound)
+     * instead of ticking through them one by one. Bit-identical to
+     * ticking — every per-cycle stat is bulk-applied in closed form
+     * and test_stat_gate holds with it on or off — so this is a pure
+     * host-speed knob; turn it off only to simplify debugging.
+     */
+    bool skipIdleCycles = true;
+
+    /**
      * Record host time per pipeline stage (Core::profile()). Purely
      * a host-side measurement: it must never change architectural
      * behaviour or any stat counter.

@@ -1,0 +1,597 @@
+/**
+ * @file
+ * Idle-cycle fast-forward: when the core is provably quiescent —
+ * every pipeline stage would be a no-op until some future event —
+ * jump the clock to just before that event instead of ticking
+ * through the gap one dead cycle at a time.
+ *
+ * The contract is bit-identity with ticking (test_stat_gate and the
+ * on/off fuzz suite in tests/test_skip.cc hold it): a cycle may only
+ * be skipped when its tick would change nothing except the
+ * per-cycle accounting this file bulk-applies in closed form:
+ *
+ *   - core.cycles (statCycles_),
+ *   - the full-window-stall classification at the retire tail
+ *     (fullWindowStallCycles_ / stallCounting_),
+ *   - the every-cycle MLP sample (outstanding DRAM miss counts are
+ *     constant across the window because the jump never crosses a
+ *     CycleCountRing event — RunningMean::addRepeated is exact for
+ *     integral values),
+ *   - the partition stall counter a blocked rename charges
+ *     (SectionPartition::noteStallN).
+ *
+ * Everything else is shown frozen: the completion heap's earliest
+ * entry, the RS wakeup cache's lower bound (rsNextTry; parked
+ * entries wake only from the completion broadcast, which cannot run
+ * while quiescent), fetch-stall expiry, memory-hierarchy events
+ * (MSHR completions and MLP-ring transitions via
+ * MemHierarchy::earliestEvent), pending store-data readiness, and
+ * the PRE entry controller's minimum-stall threshold all bound the
+ * jump; the deadlock watchdog and the run budget cap it so the
+ * watchdog panic and the maxCycles exit land on exactly the cycles
+ * they would have ticking.
+ */
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.hh"
+#include "ooo/core.hh"
+
+namespace cdfsim::ooo
+{
+
+/**
+ * Classify what the rename stage would do this cycle without doing
+ * it: replicates renameRegularOne()'s check order exactly (the while
+ * loop in renameStage() breaks on the first false return, so at most
+ * one classification — and one noteStall — happens per cycle). When
+ * the front uop is not yet through the frontend pipe, @p bound is
+ * lowered to its readyAtRename; every other input is frozen while
+ * the core is quiescent, so the classification holds for the whole
+ * window. Requires renameCritical() to be a no-op — the caller
+ * checks classifyCritRenameStall() — which freezes the CMQ.
+ */
+Core::RenameStallKind
+Core::classifyRenameStall(Cycle &bound) const
+{
+    if (frontQ_.empty())
+        return RenameStallKind::Quiet;
+    const DynInst *inst = frontQ_.front();
+    if (inst->readyAtRename > now_) {
+        bound = std::min(bound, inst->readyAtRename);
+        return RenameStallKind::Quiet;
+    }
+
+    // CDF replay front: blocked only while the critical stream has
+    // not produced the matching CMQ entry (that check precedes the
+    // poison probe, so the blocked path has no side effects). With
+    // critQ_ empty the CMQ cannot gain entries, so a match means
+    // rename would advance.
+    if (inst->cdfFetched && inst->critical) {
+        if (cmq_->empty() || cmq_->front().ts != inst->ts)
+            return RenameStallKind::Quiet;
+        return RenameStallKind::Progress;
+    }
+
+    if (!prf_.hasFree())
+        return RenameStallKind::Quiet;
+    if (!rob_.canInsert(false))
+        return robPart_ ? RenameStallKind::RobNote
+                        : RenameStallKind::Quiet;
+    if (!rs_.canInsert(false))
+        return RenameStallKind::Quiet;
+    if (inst->isLoad() && !lsq_.lq().canInsert(false))
+        return lqPart_ ? RenameStallKind::LqNote
+                       : RenameStallKind::Quiet;
+    if (inst->isStore() && !lsq_.sq().canInsert(false))
+        return sqPart_ ? RenameStallKind::SqNote
+                       : RenameStallKind::Quiet;
+    return RenameStallKind::Progress;
+}
+
+/**
+ * Classify what renameCritical() would do this cycle without doing
+ * it, replicating its check order exactly (the while loop pops at
+ * most zero entries when blocked, and charges at most one noteStall
+ * per cycle). Only meaningful when config_.mode == Cdf — the only
+ * mode whose renameStage calls renameCritical().
+ */
+Core::CritRenameStallKind
+Core::classifyCritRenameStall(Cycle &bound) const
+{
+    if (critQ_.empty())
+        return CritRenameStallKind::Quiet;
+    const DynInst *inst = critQ_.front();
+    if (inst->readyAtRename > now_) {
+        bound = std::min(bound, inst->readyAtRename);
+        return CritRenameStallKind::Quiet;
+    }
+    if (!critRatCopied_) {
+        // Copying the critical RAT (and clearing poison) is a side
+        // effect; it unblocks the cycle regular rename passes the
+        // episode start, which the caller separately proves cannot
+        // happen inside the window.
+        return regRenamedThroughTs_ >= cdfStartTs_
+                   ? CritRenameStallKind::Progress
+                   : CritRenameStallKind::Quiet;
+    }
+    if (!prf_.hasFree())
+        return CritRenameStallKind::Quiet;
+    if (!rob_.canInsert(true))
+        return CritRenameStallKind::CritRobNote;
+    if (!rs_.canInsert(true))
+        return CritRenameStallKind::CritRobNote; // RS shares the charge
+    if (inst->isLoad() && !lsq_.lq().canInsert(true))
+        return CritRenameStallKind::CritLqNote;
+    if (inst->isStore() && !lsq_.sq().canInsert(true))
+        return CritRenameStallKind::CritSqNote;
+    if (cmq_->full())
+        return CritRenameStallKind::Quiet;
+    return CritRenameStallKind::Progress;
+}
+
+/**
+ * First cycle strictly after now_ whose tick can do anything beyond
+ * the bulk-accounted per-cycle stats. Returns now_ + 1 whenever the
+ * core is not provably quiescent — the caller then just ticks.
+ */
+Cycle
+Core::nextEventCycle()
+{
+    const Cycle tickNext = now_ + 1;
+
+    // Modes with genuinely per-cycle machinery are never skipped:
+    // runahead (budgeted shadow fetch every cycle) and the Fig. 1
+    // observation run (fig1CriticalFrac_ samples are non-integral,
+    // so no closed-form bulk update exists). CDF episodes ARE
+    // skippable: both fetch engines and the partition controller are
+    // modelled below.
+    if (halted_ || raActive_ || config_.observeCriticality)
+        return tickNext;
+
+    // Deferred violations are consumed in the same tick they are
+    // set; a leftover means the next tick acts on it.
+    if (pendingMemViolation_ != nullptr ||
+        pendingDepViolationTs_ != kInvalidSeq)
+        return tickNext;
+
+    // Post-episode partition release runs every cycle while the
+    // critical cap drains; let it. (In CDF mode the caps are live
+    // and handled by the partition bound below.)
+    if (!cdfMode_ && robPart_ && rob_.criticalCap() > 0)
+        return tickNext;
+
+    Cycle bound = kNeverCycle;
+
+    // Completion heap: nothing may finish inside the window. This
+    // also freezes every PRF ready time and the RS wakeup broadcast.
+    if (!completions_.empty()) {
+        if (completions_.front().when <= tickNext)
+            return tickNext;
+        bound = completions_.front().when;
+    }
+
+    // Retire: the ROB head must not be retirable. Its state can only
+    // change through the completion heap, bounded above.
+    const DynInst *h = rob_.head();
+    if (h && h->state == InstState::Completed &&
+        !(h->criticalStream && !h->renamedRegular))
+        return tickNext;
+
+    // Rename: blocked, with a window-constant (at most one) stall
+    // counter charge per stream.
+    const RenameStallKind regKind = classifyRenameStall(bound);
+    if (regKind == RenameStallKind::Progress)
+        return tickNext;
+    CritRenameStallKind critKind = CritRenameStallKind::Quiet;
+    if (config_.mode == CoreMode::Cdf) {
+        critKind = classifyCritRenameStall(bound);
+        if (critKind == CritRenameStallKind::Progress)
+            return tickNext;
+    }
+
+    // Fetch: stalled, permanently halted, or provably stuck. An
+    // oracle-dry frontend re-latches fetchDoneHalt_ at the next
+    // fetched tick, which is idempotent and reordering-safe (the
+    // latch is not a stat and fetch stays blocked either way).
+    // Checked before the O(entries) scans below: an active frontend
+    // is the common reason a retire-free cycle is not quiescent, and
+    // this detects it in O(1).
+    if (!fetchDoneHalt_) {
+        if (fetchStallUntil_ > now_) {
+            bound = std::min(bound, fetchStallUntil_);
+        } else if (cdfMode_) {
+            // Critical engine: a no-op only when structurally blocked
+            // — its output queues full or the wrong-path walker stuck
+            // — or stopped entirely by drain mode. The queues drain
+            // through renameCritical / the regular engine, both shown
+            // blocked here.
+            if (!cdfDraining_ && !critWpStuck_ && !critQ_.full() &&
+                !dbq_->full())
+                return tickNext;
+            // Regular engine.
+            if (!frontQ_.full()) {
+                if (cdfDraining_ && !regWrongPath_ &&
+                    regNextTs_ >= critCoveredUpTo_ &&
+                    wpConsumeIdx_ >= wpRecords_.size())
+                    return tickNext; // graceful exit would fire
+                if (!regWrongPath_) {
+                    // Blocked only while waiting on the critical
+                    // fetch's lead or on a DBQ entry for a branch.
+                    if (regNextTs_ < critCoveredUpTo_ &&
+                        !(oracle_.hasRecord(regNextTs_) &&
+                          oracle_.at(regNextTs_).uop.isBranch() &&
+                          dbq_->empty()))
+                        return tickNext; // would fetch
+                } else {
+                    if (wpConsumeIdx_ < wpRecords_.size() &&
+                        !(wpRecords_[wpConsumeIdx_]
+                              .rec.uop.isBranch() &&
+                          dbq_->empty()))
+                        return tickNext; // would consume wp records
+                }
+            }
+        } else if (frontQ_.full()) {
+            // Backpressured; rename (bounded above) must free a slot.
+        } else if (wrongPath_) {
+            if (oracle_.program().validPc(wrongPathPc_) &&
+                !oracle_.program().at(wrongPathPc_).isHalt())
+                return tickNext; // would fetch wrong-path uops
+        } else {
+            if (oracle_.hasRecord(nextFetchTs_))
+                return tickNext; // would fetch real uops
+        }
+    }
+
+    // Execute: no resident RS entry may be (re)examined before the
+    // bound. Entries due now must go through the scheduler — their
+    // cached retry cycle can be stale-low after a port refusal.
+    bool anyDue = false;
+    const Cycle rsBound = rs_.earliestRetry(now_, anyDue);
+    if (anyDue)
+        return tickNext;
+    bound = std::min(bound, rsBound);
+
+    // Stores waiting on data complete the first cycle >= the data
+    // register's ready time (frozen: no completions in the window).
+    for (const DynInst *st : pendingStores_) {
+        const Cycle r = st->physSrc2 == kInvalidReg
+                            ? 0
+                            : prf_.readyAt(st->physSrc2);
+        if (r <= now_)
+            return tickNext;
+        bound = std::min(bound, r);
+    }
+
+    // Memory hierarchy: MSHR completions and outstanding-miss ring
+    // transitions. The MLP bulk update requires the latter — the
+    // sampled counts are constant strictly inside the window.
+    bound = std::min(bound, mem_.earliestEvent(now_));
+
+    // CDF partition controller: statsStage runs evaluate() on every
+    // in-mode cycle. With the per-cycle charge pattern frozen (the
+    // rename classifications above), the first evaluate() that
+    // actually resizes a cap is computable in closed form; resizes
+    // change canInsert() outcomes, so that cycle must be ticked.
+    // Zero-resize threshold crossings only cycle the counters and
+    // are replayed by SectionPartition::advanceCounters().
+    if (cdfMode_ && robPart_) {
+        const auto partitionBound = [&](cdf::SectionPartition &p,
+                                        bool chargeCrit,
+                                        bool chargeNonCrit,
+                                        std::size_t critOcc,
+                                        std::size_t nonCritOcc) {
+            const Cycle k = p.cyclesUntilCapChange(
+                chargeCrit, chargeNonCrit,
+                static_cast<unsigned>(critOcc),
+                static_cast<unsigned>(nonCritOcc));
+            if (k != kNeverCycle)
+                bound = std::min(bound, now_ + k);
+        };
+        partitionBound(*robPart_,
+                       critKind == CritRenameStallKind::CritRobNote,
+                       regKind == RenameStallKind::RobNote,
+                       rob_.criticalOccupancy(),
+                       rob_.nonCriticalOccupancy());
+        partitionBound(*lqPart_,
+                       critKind == CritRenameStallKind::CritLqNote,
+                       regKind == RenameStallKind::LqNote,
+                       lsq_.lq().criticalOccupancy(),
+                       lsq_.lq().nonCriticalOccupancy());
+        partitionBound(*sqPart_,
+                       critKind == CritRenameStallKind::CritSqNote,
+                       regKind == RenameStallKind::SqNote,
+                       lsq_.sq().criticalOccupancy(),
+                       lsq_.sq().nonCriticalOccupancy());
+    }
+
+    // PRE entry controller: during a classified full-window stall on
+    // an LLC-miss load it runs every cycle from the retire tail.
+    // After the first stalled cycle (which latched stallCounting_
+    // and charged the stall table) it is side-effect free until
+    // either a frozen disqualifier keeps it out for the whole window
+    // or the minimum-stall threshold passes — in which case entry
+    // must happen on exactly that cycle.
+    const bool robFull =
+        rob_.occupancy() >= config_.robSize ||
+        (!rob_.canInsert(false) && !frontQ_.empty() &&
+         frontQ_.front()->readyAtRename <= now_);
+    const bool stallNow =
+        robFull && h && h->state != InstState::Completed;
+    if (stallNow && config_.mode == CoreMode::Pre && h->isLoad() &&
+        h->llcMiss) {
+        if (!stallCounting_)
+            return tickNext; // first stalled cycle: side effects
+        const bool disqualified =
+            wrongPath_ || nextFetchTs_ == 0 ||
+            h->completionCycle == kNeverCycle ||
+            h->completionCycle <= now_ ||
+            !oracle_.hasRecord(nextFetchTs_ - 1) ||
+            !oracle_.program().validPc(
+                oracle_.at(nextFetchTs_ - 1).nextPc);
+        if (!disqualified) {
+            bound = std::min(bound,
+                             stallStartCycle_ +
+                                 config_.pre.minStallCyclesToEnter);
+        }
+    }
+
+    return std::max(bound, tickNext);
+}
+
+/**
+ * Apply the per-cycle accounting for @p n skipped cycles in closed
+ * form. Every input below is constant across the window (see
+ * nextEventCycle()), so this is exactly n iterations of the
+ * corresponding per-tick code.
+ */
+void
+Core::bulkAccountSkippedCycles(std::uint64_t n)
+{
+    statCycles_ += n;
+
+    // statsStage: the MLP sample. The outstanding counts cannot
+    // change strictly inside the window (the jump stops at the first
+    // ring event), so the sample repeats the same integral value.
+    const unsigned demand = mem_.outstandingDemandMisses(now_);
+    const unsigned useless = mem_.outstandingUselessMisses(now_);
+    if (demand + useless > 0) {
+        mlpWhenActive_.addRepeated(
+            static_cast<double>(demand + useless), n);
+        uselessMlpWhenActive_.addRepeated(static_cast<double>(useless),
+                                          n);
+    }
+
+    // statsStage: CDF mode-residency accounting.
+    if (cdfMode_)
+        cdfModeCycles_ += n;
+
+    // retireStage tail: full-window-stall classification. All inputs
+    // are frozen (readyAtRename's comparison against the advancing
+    // clock is window-constant because the jump is bounded by it).
+    const DynInst *h = rob_.head();
+    const bool robFull =
+        rob_.occupancy() >= config_.robSize ||
+        (!rob_.canInsert(false) && !frontQ_.empty() &&
+         frontQ_.front()->readyAtRename <= now_);
+    if (robFull && h && h->state != InstState::Completed)
+        fullWindowStallCycles_ += n;
+    else
+        stallCounting_ = false;
+
+    // renameStage: the per-cycle stall-counter charges (one per
+    // stream), then — in CDF mode — statsStage's per-cycle
+    // partition evaluate() replayed in closed form.
+    Cycle unusedBound = kNeverCycle;
+    const RenameStallKind regKind = classifyRenameStall(unusedBound);
+    if (regKind == RenameStallKind::Progress)
+        panic("bulk-accounting cycles while rename can progress");
+    CritRenameStallKind critKind = CritRenameStallKind::Quiet;
+    if (config_.mode == CoreMode::Cdf) {
+        critKind = classifyCritRenameStall(unusedBound);
+        if (critKind == CritRenameStallKind::Progress)
+            panic("bulk-accounting cycles while critical rename can "
+                  "progress");
+    }
+
+    if (cdfMode_ && robPart_) {
+        robPart_->advanceCounters(
+            critKind == CritRenameStallKind::CritRobNote,
+            regKind == RenameStallKind::RobNote, n,
+            static_cast<unsigned>(rob_.criticalOccupancy()),
+            static_cast<unsigned>(rob_.nonCriticalOccupancy()));
+        lqPart_->advanceCounters(
+            critKind == CritRenameStallKind::CritLqNote,
+            regKind == RenameStallKind::LqNote, n,
+            static_cast<unsigned>(lsq_.lq().criticalOccupancy()),
+            static_cast<unsigned>(lsq_.lq().nonCriticalOccupancy()));
+        sqPart_->advanceCounters(
+            critKind == CritRenameStallKind::CritSqNote,
+            regKind == RenameStallKind::SqNote, n,
+            static_cast<unsigned>(lsq_.sq().criticalOccupancy()),
+            static_cast<unsigned>(lsq_.sq().nonCriticalOccupancy()));
+    } else {
+        switch (regKind) {
+        case RenameStallKind::RobNote:
+            robPart_->noteStallN(false, n);
+            break;
+        case RenameStallKind::LqNote:
+            lqPart_->noteStallN(false, n);
+            break;
+        case RenameStallKind::SqNote:
+            sqPart_->noteStallN(false, n);
+            break;
+        default:
+            break;
+        }
+        switch (critKind) {
+        case CritRenameStallKind::CritRobNote:
+            robPart_->noteStallN(true, n);
+            break;
+        case CritRenameStallKind::CritLqNote:
+            lqPart_->noteStallN(true, n);
+            break;
+        case CritRenameStallKind::CritSqNote:
+            sqPart_->noteStallN(true, n);
+            break;
+        default:
+            break;
+        }
+    }
+}
+
+bool
+Core::maybeSkipIdleCycles(Cycle maxCycles)
+{
+    using clock = std::chrono::steady_clock;
+    const bool prof = config_.profileStages;
+    const auto t0 = prof ? clock::now() : clock::time_point{};
+
+    bool skipped = false;
+    Cycle target = nextEventCycle();
+
+    // The watchdog must fire on exactly the cycle it would have
+    // firing ticking; that tick runs the (no-op) stages first, so
+    // even the panic message matches.
+    if (config_.deadlockCycles != 0) {
+        const Cycle panicAt =
+            config_.deadlockCycles >= kNeverCycle - lastRetireCycle_
+                ? kNeverCycle
+                : lastRetireCycle_ + config_.deadlockCycles + 1;
+        target = std::min(target, panicAt);
+    }
+
+    if (target != kNeverCycle || maxCycles != kNeverCycle) {
+        // Cycles through maxCycles would still be ticked by the run
+        // loop (quiescently); anything past the budget is cut. With
+        // no event and a finite budget the jump lands on the budget.
+        const Cycle jumpTo =
+            std::min(target == kNeverCycle ? maxCycles : target - 1,
+                     maxCycles);
+        if (jumpTo > now_) {
+            const std::uint64_t n = jumpTo - now_;
+            bulkAccountSkippedCycles(n);
+            now_ = jumpTo;
+            skippedCycles_ += n;
+            ++skipEvents_;
+            skipped = true;
+        }
+    }
+    // else: quiescent forever with no budget and no watchdog — fall
+    // back to ticking, preserving the no-skip livelock behaviour.
+
+    // A failed scan means some stage is active; activity rarely dies
+    // within a cycle or two, so back off instead of rescanning every
+    // retire-free cycle. Costs at most the backoff in missed skip
+    // opportunity per window, never bit-identity.
+    if (!skipped)
+        skipRecheckAt_ = now_ + 4;
+
+    if (prof) {
+        profile_.ns[StageProfile::Skip] += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                clock::now() - t0)
+                .count());
+    }
+    return skipped;
+}
+
+/**
+ * RS wakeup-cache audit (see ROADMAP "audit coverage growth"; the
+ * idle-skip bound leans on rsNextTry, so silent corruption here
+ * would now skew timing, not just scheduling order).
+ *
+ * Invariants:
+ *  - every resident RS entry is Renamed;
+ *  - a parked entry (rsNextTry == kNeverCycle) has a never-ready
+ *    effective source and a live (pool handle, fetchSeq)
+ *    registration on at least one such source;
+ *  - a finite cached retry cycle equals the recomputed operand
+ *    ready bound (sources of live entries cannot be recycled:
+ *    the renewing instruction is younger and retires later);
+ *  - a non-empty waiter list implies its register is never-ready
+ *    (the completion broadcast clears the whole list), and every
+ *    live registration points at a resident entry that names the
+ *    register as an effective source and is parked or just woken.
+ * Stale registrations (dead pool slot or recycled fetchSeq) are
+ * legal; wakeRsWaiters filters them.
+ */
+void
+Core::auditRsWakeupCache() const
+{
+    rs_.forEach([&](const DynInst *inst) {
+        SIM_ASSERT(inst->state == InstState::Renamed,
+                   "RS entry ts ", inst->ts, " is not in Renamed state");
+        const Cycle r1 = inst->physSrc1 == kInvalidReg
+                             ? 0
+                             : prf_.readyAt(inst->physSrc1);
+        const bool memOp = inst->isLoad() || inst->isStore();
+        const Cycle r2 = (memOp || inst->physSrc2 == kInvalidReg)
+                             ? 0
+                             : prf_.readyAt(inst->physSrc2);
+        const Cycle wait = std::max(r1, r2);
+        if (inst->rsNextTry == kNeverCycle) {
+            SIM_ASSERT(wait == kNeverCycle,
+                       "RS entry ts ", inst->ts,
+                       " parked but no source is never-ready");
+            bool registered = false;
+            auto findWaiter = [&](RegId r, Cycle ready) {
+                if (r == kInvalidReg || ready != kNeverCycle)
+                    return;
+                for (const auto &[idx, seq] : regWaiters_[r]) {
+                    if (idx == inst->poolIdx && seq == inst->fetchSeq)
+                        registered = true;
+                }
+            };
+            findWaiter(inst->physSrc1, r1);
+            if (!memOp)
+                findWaiter(inst->physSrc2, r2);
+            SIM_ASSERT(registered,
+                       "RS entry ts ", inst->ts,
+                       " parked with no live waiter registration");
+        } else if (inst->rsNextTry != 0) {
+            SIM_ASSERT(wait != kNeverCycle,
+                       "RS entry ts ", inst->ts,
+                       " caches a finite retry cycle ",
+                       inst->rsNextTry,
+                       " but a source is never-ready");
+            SIM_ASSERT(inst->rsNextTry == wait,
+                       "RS entry ts ", inst->ts,
+                       " caches retry cycle ", inst->rsNextTry,
+                       " but its operands are ready at ", wait);
+        }
+    });
+
+    for (std::size_t i = 0; i < regWaiters_.size(); ++i) {
+        const RegId r = static_cast<RegId>(i);
+        const auto &waiters = regWaiters_[i];
+        if (waiters.empty())
+            continue;
+        SIM_ASSERT(prf_.readyAt(r) == kNeverCycle,
+                   "waiter list for phys reg ", r,
+                   " is non-empty but the register is ready at ",
+                   prf_.readyAt(r));
+        for (const auto &[idx, seq] : waiters) {
+            if (!inflightPool_.alive(idx))
+                continue; // squashed and freed: stale, legal
+            const DynInst &w = inflightPool_.at(idx);
+            if (w.fetchSeq != seq)
+                continue; // slot recycled: stale, legal
+            SIM_ASSERT(w.state == InstState::Renamed,
+                       "live waiter ts ", w.ts, " on phys reg ", r,
+                       " is not resident in the RS");
+            const bool wMemOp = w.isLoad() || w.isStore();
+            SIM_ASSERT(w.physSrc1 == r ||
+                           (!wMemOp && w.physSrc2 == r),
+                       "live waiter ts ", w.ts,
+                       " does not read phys reg ", r);
+            SIM_ASSERT(w.rsNextTry == 0 ||
+                           w.rsNextTry == kNeverCycle,
+                       "live waiter ts ", w.ts,
+                       " caches a finite retry cycle ", w.rsNextTry);
+        }
+    }
+}
+
+} // namespace cdfsim::ooo

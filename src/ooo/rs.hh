@@ -120,6 +120,41 @@ class ReservationStations
         return dropped;
     }
 
+    /**
+     * Lower bound on the next cycle any resident entry could issue,
+     * from the rsNextTry wakeup cache. Entries due at or before
+     * @p now set @p anyDue (the scheduler must run — their cached
+     * retry cycle is not a future bound); parked entries
+     * (kNeverCycle) wake only via the completion broadcast, which
+     * cannot run while the core is quiescent, so they do not bound
+     * the skip. Returns kNeverCycle when no entry has a finite
+     * future retry cycle.
+     */
+    Cycle
+    earliestRetry(Cycle now, bool &anyDue) const
+    {
+        Cycle earliest = kNeverCycle;
+        for (const auto *v : {&crit_, &reg_}) {
+            for (const DynInst *inst : *v) {
+                if (inst->rsNextTry <= now)
+                    anyDue = true;
+                else if (inst->rsNextTry < earliest)
+                    earliest = inst->rsNextTry;
+            }
+        }
+        return earliest;
+    }
+
+    /** Visit every resident entry (audit walks). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto *v : {&crit_, &reg_})
+            for (const DynInst *inst : *v)
+                fn(inst);
+    }
+
     std::size_t occupancy() const { return crit_.size() + reg_.size(); }
     std::size_t criticalOccupancy() const { return crit_.size(); }
     bool full() const { return occupancy() >= size_; }

@@ -62,6 +62,8 @@ Simulator::run(const RunSpec &spec)
                                        r.core.cycles);
     r.stats = stats_;
     r.profile = core_->profile();
+    r.skippedCycles = core_->skippedCycles();
+    r.skipEvents = core_->skipEvents();
     return r;
 }
 

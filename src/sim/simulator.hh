@@ -48,6 +48,13 @@ struct RunResult
      *  outside the "timing" object. */
     ooo::StageProfile profile;
 
+    /** Measurement-phase cycles fast-forwarded by the idle-skip path
+     *  and the number of jumps. Host-side only, same contract as
+     *  `profile`: excluded from toJson(RunResult), surfaced in the
+     *  bench "timing" object (timing.skipped_cycles/skip_events). */
+    std::uint64_t skippedCycles = 0;
+    std::uint64_t skipEvents = 0;
+
     /** The program ran out of instructions before measurement ended. */
     bool halted = false;
     /** Warmup hit its cycle budget before warmupInstrs retired. */

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Corruption tests for the system-level audit walks: the core's RS
+ * wakeup cache (Core::auditRsWakeupCache) and the memory hierarchy's
+ * LLC probe memo (MemHierarchy::auditProbeCache).
+ *
+ * Unlike tests/test_audit.cc — which covers the header-only audited
+ * containers and deliberately links only cdfsim_common — these walks
+ * live in library object code, are always compiled (their bounds are
+ * load-bearing for the idle-skip fast-forward path) and assert with
+ * the always-on SIM_ASSERT. The tests therefore use the regular full
+ * link and need no forced CDFSIM_AUDIT: each walk must stay silent on
+ * a core driven mid-flight through the public API, and must panic
+ * once AuditPeer (the befriended test-only backdoor) applies one
+ * targeted corruption of private state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/audit.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "mem/hierarchy.hh"
+#include "ooo/core.hh"
+#include "ooo/dyn_inst.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+namespace cdfsim
+{
+
+/**
+ * The test-only backdoor (forward-declared in common/audit.hh) that
+ * Core and MemHierarchy befriend. Every mutating helper performs one
+ * deliberate, targeted corruption of private state.
+ */
+struct AuditPeer
+{
+    // --- Core: RS wakeup cache --------------------------------------
+
+    /** First resident RS entry matching @p pred (nullptr if none). */
+    template <typename Pred>
+    static ooo::DynInst *
+    findRsEntry(ooo::Core &c, Pred &&pred)
+    {
+        ooo::DynInst *hit = nullptr;
+        c.rs_.forEach([&](const ooo::DynInst *inst) {
+            if (!hit && pred(*inst))
+                hit = const_cast<ooo::DynInst *>(inst);
+        });
+        return hit;
+    }
+
+    /** The operand-ready bound the audit walk recomputes. */
+    static Cycle
+    operandReadyBound(const ooo::Core &c, const ooo::DynInst &inst)
+    {
+        const Cycle r1 = inst.physSrc1 == kInvalidReg
+                             ? 0
+                             : c.prf_.readyAt(inst.physSrc1);
+        const bool memOp = inst.isLoad() || inst.isStore();
+        const Cycle r2 = (memOp || inst.physSrc2 == kInvalidReg)
+                             ? 0
+                             : c.prf_.readyAt(inst.physSrc2);
+        return std::max(r1, r2);
+    }
+
+    /**
+     * Overwrite a resident entry's cached retry cycle with a finite
+     * value that cannot match the recomputed operand-ready bound —
+     * exactly the drift a missed wakeup broadcast would leave behind.
+     */
+    static bool
+    skewRsRetryCycle(ooo::Core &c)
+    {
+        ooo::DynInst *victim =
+            findRsEntry(c, [](const ooo::DynInst &) { return true; });
+        if (!victim)
+            return false;
+        const Cycle wait = operandReadyBound(c, *victim);
+        victim->rsNextTry =
+            wait == kNeverCycle ? Cycle{12'345} : wait + 1;
+        return true;
+    }
+
+    /**
+     * Register a ghost waiter on a register that is already ready:
+     * the completion broadcast clears whole lists, so a non-empty
+     * list on a ready register can only mean a lost broadcast.
+     */
+    static void
+    ghostWaiterOnReadyReg(ooo::Core &c)
+    {
+        for (std::size_t r = 0; r < c.regWaiters_.size(); ++r) {
+            if (c.prf_.readyAt(static_cast<RegId>(r)) == kNeverCycle)
+                continue;
+            c.regWaiters_[r].emplace_back(0u, ~SeqNum{0});
+            return;
+        }
+        SIM_ASSERT(false, "test found no ready physical register");
+    }
+
+    /**
+     * Strip a parked entry's waiter registrations, leaving it
+     * unwakeable — the bug class the registration invariant exists
+     * to catch.
+     */
+    static bool
+    orphanParkedRsEntry(ooo::Core &c)
+    {
+        ooo::DynInst *parked =
+            findRsEntry(c, [](const ooo::DynInst &inst) {
+                return inst.rsNextTry == kNeverCycle;
+            });
+        if (!parked)
+            return false;
+        auto scrub = [&](RegId r) {
+            if (r == kInvalidReg)
+                return;
+            std::erase_if(c.regWaiters_[r], [&](const auto &p) {
+                return p.first == parked->poolIdx &&
+                       p.second == parked->fetchSeq;
+            });
+        };
+        scrub(parked->physSrc1);
+        if (!(parked->isLoad() || parked->isStore()))
+            scrub(parked->physSrc2);
+        return true;
+    }
+
+    // --- MemHierarchy: LLC probe memo -------------------------------
+
+    /** Flip the memoized answer of a current-generation entry. */
+    static bool
+    flipCurrentGenProbeEntry(mem::MemHierarchy &m)
+    {
+        const std::uint64_t gen =
+            m.l1d_.tagGeneration() + m.llc_.tagGeneration();
+        for (auto &e : m.probeCache_) {
+            if (e.line == ~Addr{0} || e.gen != gen)
+                continue;
+            e.miss = !e.miss;
+            return true;
+        }
+        return false;
+    }
+
+    /** Copy a current-generation entry into a slot it cannot hash
+     *  to, as a buggy indexing change would. */
+    static bool
+    teleportProbeEntry(mem::MemHierarchy &m)
+    {
+        const std::uint64_t gen =
+            m.l1d_.tagGeneration() + m.llc_.tagGeneration();
+        constexpr std::size_t slots =
+            mem::MemHierarchy::kProbeCacheSlots;
+        for (std::size_t i = 0; i < slots; ++i) {
+            const auto &e = m.probeCache_[i];
+            if (e.line == ~Addr{0} || e.gen != gen)
+                continue;
+            m.probeCache_[(i + 1) % slots] = e;
+            return true;
+        }
+        return false;
+    }
+};
+
+} // namespace cdfsim
+
+namespace
+{
+
+using cdfsim::Addr;
+using cdfsim::AuditPeer;
+using cdfsim::PanicError;
+
+/**
+ * A core paused mid-flight on a memory-bound workload: run() stops
+ * between cycles once the retire target is reached, leaving live
+ * in-flight state (RS entries, waiter lists) for the helpers to
+ * corrupt. mcf keeps dependents parked on outstanding DRAM misses.
+ */
+class AuditSystem : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        cdfsim::ooo::CoreConfig cfg;
+        sim_ = std::make_unique<cdfsim::sim::Simulator>(
+            cfg, cdfsim::workloads::makeWorkload("mcf"));
+        auto &core = sim_->core();
+        for (int i = 0; i < 64 && !core.halted(); ++i) {
+            core.run(core.retired() + 2'000);
+            if (AuditPeer::findRsEntry(
+                    core, [](const cdfsim::ooo::DynInst &) {
+                        return true;
+                    }))
+                return;
+        }
+        FAIL() << "could not pause the core with a non-empty RS";
+    }
+
+    cdfsim::ooo::Core &core() { return sim_->core(); }
+    cdfsim::mem::MemHierarchy &mem()
+    {
+        return sim_->core().memHierarchy();
+    }
+
+    /** Memoize a handful of probe answers at the current tag
+     *  generation (the baseline core never probes on its own). */
+    void
+    populateProbeCache()
+    {
+        for (Addr line = 0; line < 16 * cdfsim::kLineBytes;
+             line += cdfsim::kLineBytes)
+            mem().wouldMissLlc(line);
+    }
+
+    std::unique_ptr<cdfsim::sim::Simulator> sim_;
+};
+
+// ------------------------------------------------- RS wakeup cache
+
+TEST_F(AuditSystem, RsWakeupSilentOnDrivenCore)
+{
+    EXPECT_NO_THROW(core().auditRsWakeupCache());
+}
+
+TEST_F(AuditSystem, RsWakeupFiresOnSkewedRetryCycle)
+{
+    ASSERT_TRUE(AuditPeer::skewRsRetryCycle(core()));
+    EXPECT_THROW(core().auditRsWakeupCache(), PanicError);
+}
+
+TEST_F(AuditSystem, RsWakeupFiresOnGhostWaiter)
+{
+    AuditPeer::ghostWaiterOnReadyReg(core());
+    EXPECT_THROW(core().auditRsWakeupCache(), PanicError);
+}
+
+TEST_F(AuditSystem, RsWakeupFiresOnOrphanedParkedEntry)
+{
+    // Step forward until a parked entry (never-ready source) is in
+    // the RS; on mcf one appears almost immediately, but the stop
+    // point is workload state, not something the test controls.
+    auto &c = core();
+    bool orphaned = AuditPeer::orphanParkedRsEntry(c);
+    for (int i = 0; i < 64 && !orphaned && !c.halted(); ++i) {
+        c.run(c.retired() + 2'000);
+        orphaned = AuditPeer::orphanParkedRsEntry(c);
+    }
+    if (!orphaned)
+        GTEST_SKIP() << "no parked RS entry at any stop point";
+    EXPECT_THROW(c.auditRsWakeupCache(), PanicError);
+}
+
+// ------------------------------------------------- LLC probe memo
+
+TEST_F(AuditSystem, ProbeCacheSilentAfterProbes)
+{
+    populateProbeCache();
+    EXPECT_NO_THROW(mem().auditProbeCache());
+}
+
+TEST_F(AuditSystem, ProbeCacheFiresOnFlippedAnswer)
+{
+    populateProbeCache();
+    ASSERT_TRUE(AuditPeer::flipCurrentGenProbeEntry(mem()));
+    EXPECT_THROW(mem().auditProbeCache(), PanicError);
+}
+
+TEST_F(AuditSystem, ProbeCacheFiresOnTeleportedEntry)
+{
+    populateProbeCache();
+    ASSERT_TRUE(AuditPeer::teleportProbeEntry(mem()));
+    EXPECT_THROW(mem().auditProbeCache(), PanicError);
+}
+
+} // namespace
