@@ -7,14 +7,23 @@
  * on a thread pool and reads results back by (workload, variant).
  * All binaries share one CLI:
  *
- *   --threads N          worker threads (0 = hardware concurrency)
+ *   --threads N          worker threads (default: hardware concurrency)
  *   --workloads a,b,c    restrict to a comma-separated subset
  *   --json out.json      write machine-readable results
  *   --measure-instrs N   override the measurement window
  *   --warmup-instrs N    override the warmup window
  *   --max-cycles N       override the per-phase cycle budget
  *   --shard i/N          run only cells j with j mod N == i
+ *   --ckpt-dir DIR       spill/load warmup checkpoints under DIR
  *   --profile            per-stage host-time breakdown
+ *
+ * --ckpt-dir persists post-warmup simulator snapshots keyed by
+ * (workload, mode, warmup-relevant config, warmup length), so
+ * figure benches sharing a matrix (fig13, then fig14/15/16) warm
+ * each cell once per DIR instead of once per process. Restoring is
+ * bit-identical to warming (sim/snapshot.hh), so artifacts are
+ * unchanged outside "timing"; checkpoint traffic is reported in
+ * timing.ckpt_{hits,misses,restore_seconds}.
  *
  * Parallel and serial runs of the same matrix produce bit-identical
  * results (and bit-identical JSON modulo the "timing" object).
@@ -30,14 +39,17 @@
 #ifndef CDFSIM_BENCH_BENCH_UTIL_HH
 #define CDFSIM_BENCH_BENCH_UTIL_HH
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <map>
 #include <string>
+#include <system_error>
 #include <utility>
 #include <vector>
 
@@ -123,6 +135,18 @@ class Harness
     {
         parseArgs(argc, argv);
         runner_ = sim::SweepRunner(threadsFlag_);
+        if (!ckptDir_.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(ckptDir_, ec);
+            if (ec) {
+                std::fprintf(stderr,
+                             "%s: cannot create --ckpt-dir %s: %s\n",
+                             name_.c_str(), ckptDir_.c_str(),
+                             ec.message().c_str());
+                std::exit(2);
+            }
+            runner_.setCheckpointDir(ckptDir_);
+        }
     }
 
     unsigned threads() const { return runner_.threads(); }
@@ -395,6 +419,13 @@ class Harness
         // in "timing" with the rest of the host measurements.
         timing["skipped_cycles"] = skippedCycles;
         timing["skip_events"] = skipEvents;
+        // Warmup-checkpoint traffic: hits restored a memoized or
+        // on-disk checkpoint, misses warmed from scratch. Host-side
+        // only — the simulated results are bit-identical either way.
+        timing["ckpt_hits"] = runner_.ckptStats().hits;
+        timing["ckpt_misses"] = runner_.ckptStats().misses;
+        timing["ckpt_restore_seconds"] =
+            runner_.ckptStats().restoreSeconds;
         timing["sim_kuops_per_sec"] =
             wallSeconds_ > 0.0
                 ? static_cast<double>(measuredInstrs) /
@@ -448,9 +479,34 @@ class Harness
             "[--json out.json]\n"
             "          [--measure-instrs N] [--warmup-instrs N] "
             "[--max-cycles N]\n"
-            "          [--shard i/N] [--profile]\n",
+            "          [--shard i/N] [--ckpt-dir DIR] [--profile]\n",
             name_.c_str());
         std::exit(code);
+    }
+
+    /**
+     * Strict decimal parse for flag values. Anything that is not a
+     * plain digit string (garbage, trailing junk, negatives, or —
+     * when @p allowZero is false — zero) is a hard error: the old
+     * strtoul fallback silently turned "--threads abc" into thread
+     * count 0, i.e. hardware concurrency, hiding the typo.
+     */
+    std::uint64_t
+    parseNumber(const char *text, const char *flag, bool allowZero)
+    {
+        char *end = nullptr;
+        errno = 0;
+        const unsigned long long v = std::strtoull(text, &end, 10);
+        const bool digits =
+            text[0] >= '0' && text[0] <= '9' && end != text &&
+            *end == '\0';
+        if (!digits || errno == ERANGE || (!allowZero && v == 0)) {
+            std::fprintf(
+                stderr, "%s: %s wants a positive integer, got '%s'\n",
+                name_.c_str(), flag, text);
+            std::exit(2);
+        }
+        return v;
     }
 
     void
@@ -477,23 +533,30 @@ class Harness
         for (int i = 1; i < argc; ++i) {
             const char *arg = argv[i];
             if (matches(arg, "--threads")) {
-                threadsFlag_ = static_cast<unsigned>(
-                    std::strtoul(value(i, "--threads"), nullptr, 10));
+                // 0 is rejected rather than meaning "hardware
+                // concurrency": omitting the flag already does that,
+                // and an explicit 0 is more often a garbled value.
+                threadsFlag_ = static_cast<unsigned>(parseNumber(
+                    value(i, "--threads"), "--threads", false));
             } else if (matches(arg, "--workloads")) {
                 splitCsv(value(i, "--workloads"), workloadFilter_);
             } else if (matches(arg, "--json")) {
                 jsonPath_ = value(i, "--json");
             } else if (matches(arg, "--measure-instrs")) {
-                measureInstrs_ = std::strtoull(
-                    value(i, "--measure-instrs"), nullptr, 10);
+                measureInstrs_ =
+                    parseNumber(value(i, "--measure-instrs"),
+                                "--measure-instrs", true);
             } else if (matches(arg, "--warmup-instrs")) {
-                warmupInstrs_ = std::strtoull(
-                    value(i, "--warmup-instrs"), nullptr, 10);
+                warmupInstrs_ =
+                    parseNumber(value(i, "--warmup-instrs"),
+                                "--warmup-instrs", true);
             } else if (matches(arg, "--max-cycles")) {
-                maxCycles_ = std::strtoull(value(i, "--max-cycles"),
-                                           nullptr, 10);
+                maxCycles_ = parseNumber(value(i, "--max-cycles"),
+                                         "--max-cycles", true);
             } else if (matches(arg, "--shard")) {
                 parseShard(value(i, "--shard"));
+            } else if (matches(arg, "--ckpt-dir")) {
+                ckptDir_ = value(i, "--ckpt-dir");
             } else if (std::strcmp(arg, "--profile") == 0) {
                 profile_ = true;
             } else if (std::strcmp(arg, "--help") == 0 ||
@@ -553,6 +616,7 @@ class Harness
     unsigned threadsFlag_ = 0;
     std::vector<std::string> workloadFilter_;
     std::string jsonPath_;
+    std::string ckptDir_;
     std::uint64_t measureInstrs_ = kUnset;
     std::uint64_t warmupInstrs_ = kUnset;
     std::uint64_t maxCycles_ = kUnset;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -52,6 +53,27 @@ class Btb
         e.target = target;
     }
 
+    /** Snapshot all entries (capacity is config-fixed). */
+    void
+    save(SnapWriter &w) const
+    {
+        for (const Entry &e : entries_) {
+            w.b(e.valid);
+            w.u64(e.tag);
+            w.u64(e.target);
+        }
+    }
+
+    void
+    restore(SnapReader &r)
+    {
+        for (Entry &e : entries_) {
+            e.valid = r.b();
+            e.tag = r.u64();
+            e.target = r.u64();
+        }
+    }
+
   private:
     struct Entry
     {
@@ -59,6 +81,8 @@ class Btb
         Addr tag = 0;
         Addr target = 0;
     };
+
+    SIM_SNAPSHOT_FIELDS(3);
 
     std::vector<Entry> entries_;
     std::uint64_t &hits_;
@@ -95,12 +119,17 @@ class Ras
         return stack_[top_];
     }
 
-    /** Copyable snapshot for checkpointing. */
+    /** Copyable snapshot for checkpointing. Default-constructed
+     *  instances sit idle inside BpCheckpoint holders that still get
+     *  serialized verbatim (e.g. a DynInst that took no checkpoint),
+     *  so every field must default to a deterministic value — an
+     *  uninitialized member here would leak host heap garbage into
+     *  checkpoint payloads and break on-disk determinism. */
     struct Snapshot
     {
         std::vector<Addr> stack;
-        std::size_t top;
-        std::size_t size;
+        std::size_t top = 0;
+        std::size_t size = 0;
     };
 
     Snapshot snapshot() const { return {stack_, top_, size_}; }
@@ -113,11 +142,53 @@ class Ras
         size_ = s.size;
     }
 
+    /** Snapshot stream codec (depth is config-fixed). */
+    void
+    save(SnapWriter &w) const
+    {
+        for (Addr a : stack_)
+            w.u64(a);
+        w.u64(top_);
+        w.u64(size_);
+    }
+
+    void
+    restore(SnapReader &r)
+    {
+        for (Addr &a : stack_)
+            a = r.u64();
+        top_ = static_cast<std::size_t>(r.u64());
+        size_ = static_cast<std::size_t>(r.u64());
+    }
+
   private:
+    SIM_SNAPSHOT_FIELDS(3);
+
     std::vector<Addr> stack_;
     std::size_t top_;
     std::size_t size_;
 };
+
+/** Snapshot codec for the copyable RAS checkpoint. */
+inline void
+save(SnapWriter &w, const Ras::Snapshot &s)
+{
+    w.u64(s.stack.size());
+    for (Addr a : s.stack)
+        w.u64(a);
+    w.u64(s.top);
+    w.u64(s.size);
+}
+
+inline void
+restore(SnapReader &r, Ras::Snapshot &s)
+{
+    s.stack.resize(static_cast<std::size_t>(r.u64()));
+    for (Addr &a : s.stack)
+        a = r.u64();
+    s.top = static_cast<std::size_t>(r.u64());
+    s.size = static_cast<std::size_t>(r.u64());
+}
 
 } // namespace cdfsim::bp
 

@@ -40,6 +40,21 @@ struct BpCheckpoint
     Ras::Snapshot ras;
 };
 
+/** Snapshot codec for BpCheckpoint. */
+inline void
+save(SnapWriter &w, const BpCheckpoint &c)
+{
+    save(w, c.tage);
+    save(w, c.ras);
+}
+
+inline void
+restore(SnapReader &r, BpCheckpoint &c)
+{
+    restore(r, c.tage);
+    restore(r, c.ras);
+}
+
 /** Predictor configuration. */
 struct PredictorConfig
 {
@@ -84,7 +99,26 @@ class BranchPredictor
 
     Tage &tage() { return tage_; }
 
+    /** Snapshot every predictor structure. */
+    void
+    save(SnapWriter &w) const
+    {
+        tage_.save(w);
+        btb_.save(w);
+        ras_.save(w);
+    }
+
+    void
+    restore(SnapReader &r)
+    {
+        tage_.restore(r);
+        btb_.restore(r);
+        ras_.restore(r);
+    }
+
   private:
+    SIM_SNAPSHOT_FIELDS(5);
+
     Tage tage_;
     Btb btb_;
     Ras ras_;

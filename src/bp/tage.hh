@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/audit.hh"
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -74,6 +75,46 @@ struct TageCheckpoint
     std::array<std::uint32_t, 2 * kMaxTageFolds> folds{};
 };
 
+/** Snapshot codec for the wide history register (4 x 64 bits). */
+inline void
+save(SnapWriter &w, const History &h)
+{
+    const History mask{~std::uint64_t{0}};
+    for (unsigned chunk = 0; chunk < 4; ++chunk)
+        w.u64(((h >> (64 * chunk)) & mask).to_ullong());
+}
+
+inline void
+restore(SnapReader &r, History &h)
+{
+    h.reset();
+    for (unsigned chunk = 0; chunk < 4; ++chunk)
+        h |= History{r.u64()} << (64 * chunk);
+}
+
+/** Snapshot codec for TageCheckpoint. */
+inline void
+save(SnapWriter &w, const TageCheckpoint &c)
+{
+    save(w, c.history);
+    w.u32(c.pathHistory);
+    for (std::uint16_t v : c.loopSpecIters)
+        w.u16(v);
+    for (std::uint32_t v : c.folds)
+        w.u32(v);
+}
+
+inline void
+restore(SnapReader &r, TageCheckpoint &c)
+{
+    restore(r, c.history);
+    c.pathHistory = r.u32();
+    for (std::uint16_t &v : c.loopSpecIters)
+        v = r.u16();
+    for (std::uint32_t &v : c.folds)
+        v = r.u32();
+}
+
 /**
  * Per-prediction bookkeeping carried until update time. The table
  * indices and tags computed at prediction time are stashed here so
@@ -94,6 +135,43 @@ struct TagePredictionInfo
     std::array<unsigned, kMaxTageTables> indices{};
     std::array<std::uint16_t, kMaxTageTables> tags{};
 };
+
+/** Snapshot codec for TagePredictionInfo. */
+inline void
+save(SnapWriter &w, const TagePredictionInfo &p)
+{
+    w.b(p.taken);
+    w.b(p.tageTaken);
+    w.i64(p.providerTable);
+    w.b(p.providerWeak);
+    w.b(p.altTaken);
+    w.b(p.loopUsed);
+    w.u64(p.loopIndex);
+    w.b(p.scUsed);
+    w.u32(p.scIndex);
+    for (unsigned v : p.indices)
+        w.u32(v);
+    for (std::uint16_t v : p.tags)
+        w.u16(v);
+}
+
+inline void
+restore(SnapReader &r, TagePredictionInfo &p)
+{
+    p.taken = r.b();
+    p.tageTaken = r.b();
+    p.providerTable = static_cast<int>(r.i64());
+    p.providerWeak = r.b();
+    p.altTaken = r.b();
+    p.loopUsed = r.b();
+    p.loopIndex = static_cast<unsigned>(r.u64());
+    p.scUsed = r.b();
+    p.scIndex = r.u32();
+    for (unsigned &v : p.indices)
+        v = r.u32();
+    for (std::uint16_t &v : p.tags)
+        v = r.u16();
+}
 
 /** The direction predictor. */
 class Tage
@@ -130,6 +208,10 @@ class Tage
     /** Recompute every incremental fold from scratch and compare
      *  against the maintained value (test hook). */
     bool checkFolds() const;
+
+    /** Snapshot every table and the speculative history state. */
+    void save(SnapWriter &w) const;
+    void restore(SnapReader &r);
 
   private:
     struct TaggedEntry
@@ -181,6 +263,8 @@ class Tage
     // Loop predictor helpers.
     LoopEntry *loopLookup(Addr pc);
     void loopUpdate(Addr pc, bool taken, const TagePredictionInfo &info);
+
+    SIM_SNAPSHOT_FIELDS(14);
 
     TageConfig config_;
     std::vector<unsigned> histLengths_;

@@ -56,9 +56,34 @@ CriticalCountTable::findOrAllocate(Addr pc)
 }
 
 void
+CriticalCountTable::auditInvariants() const
+{
+    for (std::size_t set = 0; set < sets_; ++set) {
+        const Entry *base = &entries_[set * config_.ways];
+        for (unsigned w = 0; w < config_.ways; ++w) {
+            const Entry &e = base[w];
+            if (!e.valid)
+                continue;
+            SIM_ASSERT(setOf(e.tag) == set,
+                       "CCT entry tag hashes outside its set");
+            SIM_ASSERT(e.lruTick <= tick_,
+                       "CCT entry LRU stamp ahead of the clock");
+            for (unsigned v = w + 1; v < config_.ways; ++v) {
+                SIM_ASSERT(!base[v].valid || base[v].tag != e.tag,
+                           "duplicate valid CCT tag within a set");
+            }
+        }
+    }
+}
+
+void
 CriticalCountTable::update(Addr pc, bool negativeEvent)
 {
     ++updates_;
+    SIM_AUDIT_ONLY({
+        if (audit_.due())
+            auditInvariants();
+    });
     Entry &e = findOrAllocate(pc);
     e.lruTick = ++tick_;
     if (negativeEvent) {

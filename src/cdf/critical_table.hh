@@ -17,7 +17,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/audit.hh"
 #include "common/sat_counter.hh"
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -68,6 +70,44 @@ class CriticalCountTable
     ThresholdMode mode() const { return mode_; }
     void setMode(ThresholdMode mode) { mode_ = mode; }
 
+    /**
+     * Structural walk: valid entries index the set their tag hashes
+     * to, sets hold no duplicate tags, and no LRU stamp is ahead of
+     * the allocation clock. Always compiled (the table is tiny);
+     * sampled from update() in Audit builds.
+     */
+    void auditInvariants() const;
+
+    /** Snapshot entries and the threshold/LRU state (geometry and
+     *  counter widths are config-fixed and excluded). */
+    void
+    save(SnapWriter &w) const
+    {
+        for (const Entry &e : entries_) {
+            w.b(e.valid);
+            w.u64(e.tag);
+            w.u32(e.strict.value());
+            w.u32(e.permissive.value());
+            w.u64(e.lruTick);
+        }
+        w.u64(tick_);
+        w.u8(static_cast<std::uint8_t>(mode_));
+    }
+
+    void
+    restore(SnapReader &r)
+    {
+        for (Entry &e : entries_) {
+            e.valid = r.b();
+            e.tag = r.u64();
+            e.strict.set(r.u32());
+            e.permissive.set(r.u32());
+            e.lruTick = r.u64();
+        }
+        tick_ = r.u64();
+        mode_ = static_cast<ThresholdMode>(r.u8());
+    }
+
   private:
     struct Entry
     {
@@ -82,11 +122,19 @@ class CriticalCountTable
     const Entry *find(Addr pc) const;
     Entry &findOrAllocate(Addr pc);
 
+    SIM_SNAPSHOT_FIELDS(8);
+
     CriticalTableConfig config_;
     std::size_t sets_;
     std::vector<Entry> entries_;
     std::uint64_t tick_ = 0;
     ThresholdMode mode_ = ThresholdMode::Strict;
+
+    // Qualified on purpose: an unqualified friend would declare a
+    // fresh cdfsim::cdf::AuditPeer instead of befriending the
+    // test-only backdoor forward-declared in common/audit.hh.
+    friend struct cdfsim::AuditPeer;
+    mutable AuditSampler audit_{4096};
 
     std::uint64_t &updates_;
     std::uint64_t &allocations_;

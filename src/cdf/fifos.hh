@@ -18,6 +18,7 @@
 #define CDFSIM_CDF_FIFOS_HH
 
 #include "common/circular_queue.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace cdfsim::cdf
@@ -39,6 +40,42 @@ struct CmqEntry
     RegId physDst = kInvalidReg;
     RegId oldPhysDst = kInvalidReg;
 };
+
+/** Snapshot codecs for the FIFO payloads (used as CircularQueue
+ *  element callbacks by the core snapshot). */
+inline void
+save(SnapWriter &w, const DbqEntry &e)
+{
+    w.u64(e.ts);
+    w.b(e.taken);
+    w.u64(e.target);
+}
+
+inline void
+restore(SnapReader &r, DbqEntry &e)
+{
+    e.ts = r.u64();
+    e.taken = r.b();
+    e.target = r.u64();
+}
+
+inline void
+save(SnapWriter &w, const CmqEntry &e)
+{
+    w.u64(e.ts);
+    w.u16(e.archDst);
+    w.u16(e.physDst);
+    w.u16(e.oldPhysDst);
+}
+
+inline void
+restore(SnapReader &r, CmqEntry &e)
+{
+    e.ts = r.u64();
+    e.archDst = r.u16();
+    e.physDst = r.u16();
+    e.oldPhysDst = r.u16();
+}
 
 /** Delayed Branch Queue (Table 1: 256 entries). */
 using DelayedBranchQueue = CircularQueue<DbqEntry>;

@@ -29,6 +29,7 @@
 
 #include "cdf/mask_cache.hh"
 #include "cdf/uop_cache.hh"
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "isa/uop.hh"
@@ -87,6 +88,44 @@ class FillBuffer
 
     bool collecting() const { return collecting_; }
 
+    /** Snapshot the collection window and the mask shift register
+     *  (the referenced caches snapshot themselves). */
+    void
+    save(SnapWriter &w) const
+    {
+        w.u32(static_cast<std::uint32_t>(entries_.size()));
+        for (const Entry &e : entries_) {
+            w.u64(e.pc);
+            isa::save(w, e.uop);
+            w.u64(e.memWordAddr);
+            w.b(e.critical);
+            w.b(e.startsBasicBlock);
+        }
+        w.b(collecting_);
+        w.u64(collectionStart_);
+        w.u64(activeMask_);
+        w.u32(activeMaskOffset_);
+        w.b(activeMaskValid_);
+    }
+
+    void
+    restore(SnapReader &r)
+    {
+        entries_.resize(r.u32());
+        for (Entry &e : entries_) {
+            e.pc = r.u64();
+            isa::restore(r, e.uop);
+            e.memWordAddr = r.u64();
+            e.critical = r.b();
+            e.startsBasicBlock = r.b();
+        }
+        collecting_ = r.b();
+        collectionStart_ = r.u64();
+        activeMask_ = r.u64();
+        activeMaskOffset_ = r.u32();
+        activeMaskValid_ = r.b();
+    }
+
   private:
     struct Entry
     {
@@ -100,6 +139,8 @@ class FillBuffer
     WalkResult walk(Cycle now);
     void markChains();
     WalkResult harvest(Cycle now);
+
+    SIM_SNAPSHOT_FIELDS(14);
 
     FillBufferConfig config_;
     MaskCache &maskCache_;

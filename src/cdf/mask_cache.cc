@@ -31,9 +31,34 @@ MaskCache::lookup(Addr pc) const
 }
 
 void
+MaskCache::auditInvariants() const
+{
+    for (std::size_t set = 0; set < sets_; ++set) {
+        const Entry *base = &entries_[set * config_.ways];
+        for (unsigned w = 0; w < config_.ways; ++w) {
+            const Entry &e = base[w];
+            if (!e.valid)
+                continue;
+            SIM_ASSERT(setOf(e.tag) == set,
+                       "mask cache entry tag hashes outside its set");
+            SIM_ASSERT(e.lruTick <= tick_,
+                       "mask cache LRU stamp ahead of the clock");
+            for (unsigned v = w + 1; v < config_.ways; ++v) {
+                SIM_ASSERT(!base[v].valid || base[v].tag != e.tag,
+                           "duplicate valid mask cache tag within a set");
+            }
+        }
+    }
+}
+
+void
 MaskCache::merge(Addr pc, std::uint64_t mask)
 {
     ++merges_;
+    SIM_AUDIT_ONLY({
+        if (audit_.due())
+            auditInvariants();
+    });
     Entry *base = &entries_[setOf(pc) * config_.ways];
     Entry *victim = base;
     for (unsigned w = 0; w < config_.ways; ++w) {

@@ -16,6 +16,8 @@
 #include <optional>
 #include <vector>
 
+#include "common/audit.hh"
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -54,6 +56,42 @@ class MaskCache
     /** Unconditional clear. */
     void reset();
 
+    /**
+     * Structural walk: valid entries index the set their tag hashes
+     * to, sets hold no duplicate tags, and no LRU stamp is ahead of
+     * the allocation clock. Always compiled (the cache is tiny);
+     * sampled from merge() in Audit builds.
+     */
+    void auditInvariants() const;
+
+    /** Snapshot entries and the LRU/reset clocks (geometry is
+     *  config-fixed and excluded). */
+    void
+    save(SnapWriter &w) const
+    {
+        for (const Entry &e : entries_) {
+            w.b(e.valid);
+            w.u64(e.tag);
+            w.u64(e.mask);
+            w.u64(e.lruTick);
+        }
+        w.u64(tick_);
+        w.u64(lastReset_);
+    }
+
+    void
+    restore(SnapReader &r)
+    {
+        for (Entry &e : entries_) {
+            e.valid = r.b();
+            e.tag = r.u64();
+            e.mask = r.u64();
+            e.lruTick = r.u64();
+        }
+        tick_ = r.u64();
+        lastReset_ = r.u64();
+    }
+
   private:
     struct Entry
     {
@@ -65,11 +103,19 @@ class MaskCache
 
     std::size_t setOf(Addr pc) const { return pc % sets_; }
 
+    SIM_SNAPSHOT_FIELDS(9);
+
     MaskCacheConfig config_;
     std::size_t sets_;
     std::vector<Entry> entries_;
     std::uint64_t tick_ = 0;
     std::uint64_t lastReset_ = 0;
+
+    // Qualified on purpose: an unqualified friend would declare a
+    // fresh cdfsim::cdf::AuditPeer instead of befriending the
+    // test-only backdoor forward-declared in common/audit.hh.
+    friend struct cdfsim::AuditPeer;
+    mutable AuditSampler audit_{4096};
 
     std::uint64_t &merges_;
     std::uint64_t &hits_;

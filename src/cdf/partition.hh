@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -91,9 +92,28 @@ class SectionPartition
     /** Reset to the initial split (on CDF episode boundaries). */
     void reset();
 
+    /** Snapshot the mutable split state (policy knobs are config). */
+    void
+    save(SnapWriter &w) const
+    {
+        w.u32(critCap_);
+        w.u64(critStalls_);
+        w.u64(nonCritStalls_);
+    }
+
+    void
+    restore(SnapReader &r)
+    {
+        critCap_ = r.u32();
+        critStalls_ = r.u64();
+        nonCritStalls_ = r.u64();
+    }
+
   private:
     unsigned growAmount(unsigned nonCritOcc) const;
     unsigned shrinkAmount(unsigned critOcc) const;
+
+    SIM_SNAPSHOT_FIELDS(11);
 
     unsigned total_;
     unsigned step_;

@@ -17,10 +17,12 @@
 #define CDFSIM_CDF_UOP_CACHE_HH
 
 #include <cstdint>
+#include <iterator>
 #include <list>
 #include <unordered_map>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "isa/uop.hh"
@@ -54,6 +56,48 @@ struct BbTrace
     }
 };
 
+/** Snapshot codec for TraceUop. */
+inline void
+save(SnapWriter &w, const TraceUop &t)
+{
+    save(w, t.uop);
+    w.u32(t.offsetInBlock);
+}
+
+inline void
+restore(SnapReader &r, TraceUop &t)
+{
+    restore(r, t.uop);
+    t.offsetInBlock = r.u32();
+}
+
+/** Snapshot codec for BbTrace. */
+inline void
+save(SnapWriter &w, const BbTrace &t)
+{
+    w.u64(t.startPc);
+    w.u32(t.blockLength);
+    w.u32(static_cast<std::uint32_t>(t.uops.size()));
+    for (const TraceUop &u : t.uops)
+        save(w, u);
+    w.b(t.endsInBranch);
+    w.u64(t.branchPc);
+    w.u64(t.readyCycle);
+}
+
+inline void
+restore(SnapReader &r, BbTrace &t)
+{
+    t.startPc = r.u64();
+    t.blockLength = r.u32();
+    t.uops.resize(r.u32());
+    for (TraceUop &u : t.uops)
+        restore(r, u);
+    t.endsInBranch = r.b();
+    t.branchPc = r.u64();
+    t.readyCycle = r.u64();
+}
+
 /** Uop cache configuration (Table 1: 18KB 4-way, 8x8B per entry). */
 struct UopCacheConfig
 {
@@ -86,8 +130,38 @@ class CriticalUopCache
     unsigned usedLines() const { return usedLines_; }
     std::size_t numTraces() const { return traces_.size(); }
 
+    /**
+     * Snapshot the traces in LRU order (the list is the source of
+     * truth; the tag map is rebuilt on restore, so the snapshot
+     * never iterates the unordered container).
+     */
+    void
+    save(SnapWriter &w) const
+    {
+        w.u32(static_cast<std::uint32_t>(lru_.size()));
+        for (const BbTrace &t : lru_)
+            cdf::save(w, t);
+        w.u32(usedLines_);
+    }
+
+    void
+    restore(SnapReader &r)
+    {
+        lru_.clear();
+        traces_.clear();
+        const std::uint32_t n = r.u32();
+        for (std::uint32_t i = 0; i < n; ++i) {
+            lru_.emplace_back();
+            cdf::restore(r, lru_.back());
+            traces_[lru_.back().startPc] = std::prev(lru_.end());
+        }
+        usedLines_ = r.u32();
+    }
+
   private:
     void evictOne();
+
+    SIM_SNAPSHOT_FIELDS(9);
 
     UopCacheConfig config_;
     // LRU list of traces; map from tag to list iterator.

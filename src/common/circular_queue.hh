@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace cdfsim
 {
@@ -109,11 +110,46 @@ class CircularQueue
         count_ = 0;
     }
 
+    /**
+     * Serialize capacity, cursor and live elements. head_ is kept
+     * verbatim (not renormalized to zero) so a restored queue's slot
+     * layout — and therefore any future snapshot of it — is
+     * byte-identical to the original's.
+     */
+    template <typename SaveFn>
+    void
+    save(SnapWriter &w, SaveFn &&fn) const
+    {
+        w.u64(buf_.size());
+        w.u64(head_);
+        w.u64(count_);
+        for (std::size_t i = 0; i < count_; ++i)
+            fn(w, at(i));
+    }
+
+    template <typename LoadFn>
+    void
+    restore(SnapReader &r, LoadFn &&fn)
+    {
+        const std::uint64_t capacity = r.u64();
+        SIM_ASSERT(capacity == buf_.size(),
+                   "snapshot CircularQueue capacity ", capacity,
+                   " != configured ", buf_.size());
+        head_ = static_cast<std::size_t>(r.u64());
+        count_ = static_cast<std::size_t>(r.u64());
+        SIM_ASSERT(head_ < buf_.size() && count_ <= buf_.size(),
+                   "snapshot CircularQueue cursor out of range");
+        for (std::size_t i = 0; i < count_; ++i)
+            buf_[index(i)] = fn(r);
+    }
+
   private:
     std::size_t index(std::size_t i) const
     {
         return (head_ + i) % buf_.size();
     }
+
+    SIM_SNAPSHOT_FIELDS(3);
 
     std::vector<T> buf_;
     std::size_t head_;

@@ -30,6 +30,7 @@
 
 #include "common/audit.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace cdfsim
@@ -106,6 +107,34 @@ class MonotonicCycleRing
     std::size_t capacity() const { return buf_.size(); }
 
     /**
+     * Serialize the buffer verbatim — capacity included, because
+     * capacity grows on demand and determines when future pushes
+     * reshuffle the ring (head_ resets on grow), which a re-snapshot
+     * of the restored ring must reproduce.
+     */
+    void
+    save(SnapWriter &w) const
+    {
+        w.u64(buf_.size());
+        w.u64(head_);
+        w.u64(count_);
+        for (Cycle c : buf_)
+            w.u64(c);
+    }
+
+    void
+    restore(SnapReader &r)
+    {
+        buf_.resize(static_cast<std::size_t>(r.u64()));
+        head_ = static_cast<std::size_t>(r.u64());
+        count_ = static_cast<std::size_t>(r.u64());
+        SIM_ASSERT(count_ <= buf_.size(),
+                   "snapshot cycle ring count exceeds capacity");
+        for (Cycle &c : buf_)
+            c = r.u64();
+    }
+
+    /**
      * Monotonicity walk: the live entries read head to tail must be
      * non-decreasing (earliest() and the prune loop both depend on
      * it), and the live count must fit the buffer. O(size); sampled
@@ -136,6 +165,8 @@ class MonotonicCycleRing
         buf_ = std::move(bigger);
         head_ = 0;
     }
+
+    SIM_SNAPSHOT_FIELDS(4);
 
     std::vector<Cycle> buf_;
     std::size_t head_ = 0; //!< free-running; index is head_ & mask
@@ -226,6 +257,29 @@ class CycleCountRing
     Cycle cursor() const { return base_; }
     std::size_t horizon() const { return counts_.size(); }
 
+    /** Serialize buckets verbatim (horizon included — it grows on
+     *  demand, so it is part of the reproducible state). */
+    void
+    save(SnapWriter &w) const
+    {
+        w.u64(counts_.size());
+        w.u64(base_);
+        w.u64(outstanding_);
+        for (std::uint32_t c : counts_)
+            w.u32(c);
+    }
+
+    void
+    restore(SnapReader &r)
+    {
+        counts_.resize(static_cast<std::size_t>(r.u64()));
+        base_ = r.u64();
+        outstanding_ = static_cast<std::size_t>(r.u64());
+        for (std::uint32_t &c : counts_)
+            c = r.u32();
+        SIM_AUDIT_ONLY(auditInvariants();)
+    }
+
     /**
      * Count-agreement walk: the cached outstanding total (which MLP
      * sampling reads every cycle) must equal the sum of all live
@@ -258,6 +312,8 @@ class CycleCountRing
         }
         counts_ = std::move(bigger);
     }
+
+    SIM_SNAPSHOT_FIELDS(4);
 
     std::vector<std::uint32_t> counts_;
     Cycle base_ = 0; //!< cursor: cycles <= base_ are expired

@@ -13,6 +13,7 @@
 #include "common/audit.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace cdfsim
 {
@@ -145,6 +146,42 @@ class FlatMap
                    " occupied slots vs size ", size_);
     }
 
+    /**
+     * Serialize the table slot-verbatim (capacity plus every slot,
+     * occupied or empty) so the restored map reproduces the exact
+     * probe layout — including displacement left by past erases —
+     * rather than a rehashed equivalent. @p fn serializes one value.
+     */
+    template <typename SaveFn>
+    void
+    save(SnapWriter &w, SaveFn &&fn) const
+    {
+        w.u64(slots_.size());
+        w.u64(size_);
+        for (const Slot &s : slots_) {
+            w.u64(static_cast<std::uint64_t>(s.key));
+            fn(w, s.val);
+        }
+    }
+
+    template <typename LoadFn>
+    void
+    restore(SnapReader &r, LoadFn &&fn)
+    {
+        const std::uint64_t capacity = r.u64();
+        SIM_ASSERT(capacity >= 16 &&
+                       (capacity & (capacity - 1)) == 0,
+                   "snapshot FlatMap capacity not a power of two");
+        size_ = static_cast<std::size_t>(r.u64());
+        slots_.resize(static_cast<std::size_t>(capacity));
+        mask_ = static_cast<std::size_t>(capacity) - 1;
+        for (Slot &s : slots_) {
+            s.key = static_cast<K>(r.u64());
+            s.val = fn(r);
+        }
+        SIM_AUDIT_ONLY(auditInvariants();)
+    }
+
   private:
     friend struct AuditPeer;
     struct Slot
@@ -171,6 +208,8 @@ class FlatMap
                 (*this)[s.key] = s.val;
         }
     }
+
+    SIM_SNAPSHOT_FIELDS(5);
 
     K empty_;
     std::vector<Slot> slots_;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace cdfsim
 {
@@ -122,7 +123,23 @@ class RunningMean
         n_ = 0;
     }
 
+    void
+    save(SnapWriter &w) const
+    {
+        w.f64(sum_);
+        w.u64(n_);
+    }
+
+    void
+    restore(SnapReader &r)
+    {
+        sum_ = r.f64();
+        n_ = r.u64();
+    }
+
   private:
+    SIM_SNAPSHOT_FIELDS(2);
+
     double sum_ = 0.0;
     std::uint64_t n_ = 0;
 };

@@ -14,6 +14,7 @@
 
 #include "common/audit.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace cdfsim
 {
@@ -128,6 +129,80 @@ class SlabPool
         }
     }
 
+    /**
+     * Serialize the pool so a restored pool reproduces the exact
+     * same future handle assignment: slab count, alive bitmap and
+     * the freelist are written verbatim (the LIFO order *is* the
+     * allocation order), then @p fn serializes each live element in
+     * ascending handle order.
+     */
+    template <typename SaveFn>
+    void
+    save(SnapWriter &w, SaveFn &&fn) const
+    {
+        w.u32(slabSize_);
+        w.u64(alive_.size());
+        for (std::uint8_t a : alive_)
+            w.u8(a);
+        w.u64(freeList_.size());
+        for (std::uint32_t idx : freeList_)
+            w.u32(idx);
+        for (std::uint32_t i = 0; i < alive_.size(); ++i) {
+            if (alive_[i])
+                fn(w, at(i));
+        }
+    }
+
+    /** Inverse of save(); @p fn fills each re-constructed element. */
+    template <typename LoadFn>
+    void
+    restore(SnapReader &r, LoadFn &&fn)
+    {
+        for (std::uint32_t i = 0; i < alive_.size(); ++i) {
+            if (alive_[i])
+                at(i).~T();
+        }
+        const std::uint32_t slabSize = r.u32();
+        SIM_ASSERT(slabSize == slabSize_,
+                   "snapshot slab size ", slabSize,
+                   " != configured ", slabSize_);
+        const std::uint64_t capacity = r.u64();
+        SIM_ASSERT(capacity % slabSize_ == 0,
+                   "snapshot pool capacity not slab-aligned");
+        while (slabs_.size() * slabSize_ < capacity)
+            slabs_.push_back(std::make_unique<Slot[]>(slabSize_));
+        const std::uint64_t ourCapacity =
+            slabs_.size() * std::uint64_t{slabSize_};
+        alive_.assign(ourCapacity, 0);
+        for (std::uint64_t i = 0; i < capacity; ++i)
+            alive_[i] = r.u8();
+        // Slots beyond the snapshot's capacity exist only when this
+        // pool grew after the snapshot was taken. The snapshot pool
+        // would re-grow them on demand in ascending slab order, so
+        // seed the freelist bottom with exactly the order grow()
+        // would produce, then lay the saved freelist verbatim on top
+        // (LIFO: the saved entries are consumed first).
+        freeList_.clear();
+        for (std::uint64_t base = ourCapacity; base > capacity;) {
+            base -= slabSize_;
+            for (std::uint32_t i = slabSize_; i-- > 0;)
+                freeList_.push_back(
+                    static_cast<std::uint32_t>(base + i));
+        }
+        const std::uint64_t savedFree = r.u64();
+        for (std::uint64_t i = 0; i < savedFree; ++i)
+            freeList_.push_back(r.u32());
+        live_ = 0;
+        for (std::uint32_t i = 0; i < capacity; ++i) {
+            if (!alive_[i])
+                continue;
+            ::new (slotPtr(i)) T();
+            fn(r, at(i));
+            ++live_;
+        }
+        SIM_AUDIT_ONLY(auditInvariants();)
+    }
+
   private:
     friend struct AuditPeer;
     struct Slot
@@ -157,6 +232,8 @@ class SlabPool
         for (std::uint32_t i = slabSize_; i-- > 0;)
             freeList_.push_back(base + i);
     }
+
+    SIM_SNAPSHOT_FIELDS(6);
 
     std::uint32_t slabSize_;
     std::vector<std::unique_ptr<Slot[]>> slabs_;

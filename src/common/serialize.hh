@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Versioned binary snapshot serialization.
+ *
+ * SnapWriter/SnapReader implement a little-endian, bounds-checked
+ * byte-stream format used by the warmup checkpointing subsystem
+ * (sim/snapshot.hh). Every snapshottable class exposes explicit
+ * `save(SnapWriter &)` / `restore(SnapReader &)` members that write
+ * and read each field in declaration order — raw struct memcpy is
+ * never used, so the byte stream is independent of padding, host
+ * endianness quirks, and container implementation details.
+ *
+ * The format carries no per-field tags: reader and writer must agree
+ * exactly, which is enforced at a higher level by the checkpoint
+ * schema version (sim/snapshot.cc) and at the source level by the
+ * SIM_SNAPSHOT_FIELDS lint contract below.
+ */
+
+#ifndef CDFSIM_COMMON_SERIALIZE_HH
+#define CDFSIM_COMMON_SERIALIZE_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/logging.hh"
+
+/**
+ * Snapshot field-count contract, checked by `tools/lint_sim`
+ * (rule `snapshot-fields`): every class with a `save(...)` member
+ * must carry `SIM_SNAPSHOT_FIELDS(n)` where @p n is the number of
+ * data members the class declares — including members that are
+ * deliberately *not* serialized (host-only profiling state, cached
+ * stat references). Adding a field without bumping the count fails
+ * the lint, which forces the author to decide whether the new field
+ * belongs in save()/restore().
+ */
+#define SIM_SNAPSHOT_FIELDS(n) \
+    static_assert((n) > 0, "snapshot field count must be positive")
+
+namespace cdfsim
+{
+
+/** Append-only little-endian byte-stream writer. */
+class SnapWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        u8(static_cast<std::uint8_t>(v));
+        u8(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        u16(static_cast<std::uint16_t>(v));
+        u16(static_cast<std::uint16_t>(v >> 16));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+        u32(static_cast<std::uint32_t>(v >> 32));
+    }
+
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    void i8(std::int8_t v) { u8(static_cast<std::uint8_t>(v)); }
+    void b(bool v) { u8(v ? 1 : 0); }
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    void
+    str(std::string_view s)
+    {
+        u64(s.size());
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+
+    const std::vector<std::uint8_t> &bytes() const { return buf_; }
+    std::size_t size() const { return buf_.size(); }
+
+    /** FNV-1a over everything written so far. */
+    std::uint64_t
+    fnv1a() const
+    {
+        std::uint64_t h = 0xCBF29CE484222325ull;
+        for (std::uint8_t byte : buf_) {
+            h ^= byte;
+            h *= 0x100000001B3ull;
+        }
+        return h;
+    }
+
+    /** Move the accumulated bytes out (leaves the writer empty). */
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Bounds-checked reader over a byte buffer produced by SnapWriter. */
+class SnapReader
+{
+  public:
+    SnapReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    explicit SnapReader(const std::vector<std::uint8_t> &buf)
+        : SnapReader(buf.data(), buf.size())
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        SIM_ASSERT(pos_ < size_, "snapshot stream underrun at byte ",
+                   pos_, " of ", size_);
+        return data_[pos_++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        const std::uint16_t lo = u8();
+        return static_cast<std::uint16_t>(lo |
+                                          (std::uint16_t{u8()} << 8));
+    }
+
+    std::uint32_t
+    u32()
+    {
+        const std::uint32_t lo = u16();
+        return lo | (std::uint32_t{u16()} << 16);
+    }
+
+    std::uint64_t
+    u64()
+    {
+        const std::uint64_t lo = u32();
+        return lo | (std::uint64_t{u32()} << 32);
+    }
+
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    std::int8_t i8() { return static_cast<std::int8_t>(u8()); }
+    bool b() { return u8() != 0; }
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    std::string
+    str()
+    {
+        const std::uint64_t n = u64();
+        SIM_ASSERT(n <= size_ - pos_,
+                   "snapshot string length ", n, " overruns stream");
+        std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                      static_cast<std::size_t>(n));
+        pos_ += static_cast<std::size_t>(n);
+        return s;
+    }
+
+    bool done() const { return pos_ == size_; }
+    std::size_t pos() const { return pos_; }
+
+  private:
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace cdfsim
+
+#endif // CDFSIM_COMMON_SERIALIZE_HH

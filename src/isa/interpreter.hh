@@ -14,6 +14,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 #include "isa/memory_image.hh"
 #include "isa/program.hh"
@@ -39,6 +40,37 @@ struct ExecRecord
     Addr nextPc = 0;          //!< correct-path successor PC
     bool halt = false;        //!< this uop ends the program
 };
+
+/** Snapshot codec for ExecRecord. */
+inline void
+save(SnapWriter &w, const ExecRecord &e)
+{
+    w.u64(e.seq);
+    w.u64(e.pc);
+    save(w, e.uop);
+    w.u64(e.srcVal1);
+    w.u64(e.srcVal2);
+    w.u64(e.result);
+    w.u64(e.memAddr);
+    w.b(e.taken);
+    w.u64(e.nextPc);
+    w.b(e.halt);
+}
+
+inline void
+restore(SnapReader &r, ExecRecord &e)
+{
+    e.seq = r.u64();
+    e.pc = r.u64();
+    restore(r, e.uop);
+    e.srcVal1 = r.u64();
+    e.srcVal2 = r.u64();
+    e.result = r.u64();
+    e.memAddr = r.u64();
+    e.taken = r.b();
+    e.nextPc = r.u64();
+    e.halt = r.b();
+}
 
 /**
  * Executes a Program against a register file and a MemoryImage.
@@ -153,7 +185,30 @@ class Interpreter
         return r;
     }
 
+    /** Snapshot cursor state (memory is serialized separately). */
+    void
+    save(SnapWriter &w) const
+    {
+        for (std::uint64_t v : regs_)
+            w.u64(v);
+        w.u64(pc_);
+        w.u64(executed_);
+        w.b(halted_);
+    }
+
+    void
+    restore(SnapReader &r)
+    {
+        for (std::uint64_t &v : regs_)
+            v = r.u64();
+        pc_ = r.u64();
+        executed_ = r.u64();
+        halted_ = r.b();
+    }
+
   private:
+    SIM_SNAPSHOT_FIELDS(6);
+
     const Program &program_;
     MemoryImage &memory_;
     RegFile regs_{};

@@ -5,6 +5,13 @@
  * Stores 64-bit words keyed by 8-byte-aligned addresses, organized in
  * 4KB pages so that workloads touching hundreds of megabytes of
  * address space stay cheap. Unwritten memory reads as zero.
+ *
+ * Pages are copy-on-write: copying a MemoryImage copies only the page
+ * table, and a shared page is cloned the first time either copy
+ * writes to it. That makes the pristine post-init image of a workload
+ * shareable across every sweep cell running it, and lets a warmup
+ * checkpoint store just the pages the warmup actually dirtied
+ * (saveDelta/restoreDelta against the shared pristine base).
  */
 
 #ifndef CDFSIM_ISA_MEMORY_IMAGE_HH
@@ -15,6 +22,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace cdfsim::isa
@@ -45,17 +53,32 @@ class MemoryImage
         const Addr w = addr >> 3;
         auto &page = pages_[w / kPageWords];
         if (!page)
-            page = std::make_unique<Page>();
+            page = std::make_shared<Page>();
+        else if (page.use_count() > 1)
+            page = std::make_shared<Page>(*page); // copy-on-write
         (*page)[w % kPageWords] = value;
     }
 
     /** Number of resident 4KB pages (for tests / footprint stats). */
     std::size_t residentPages() const { return pages_.size(); }
 
+    /**
+     * Serialize only the pages that differ from @p base (compared by
+     * page identity — cheap, exact under copy-on-write as long as
+     * this image started as a copy of @p base). Page ids are sorted,
+     * so the bytes are deterministic across processes.
+     */
+    void saveDelta(SnapWriter &w, const MemoryImage &base) const;
+
+    /** Reset to a copy of @p base, then overlay the saved delta. */
+    void restoreDelta(SnapReader &r, const MemoryImage &base);
+
   private:
     using Page = std::array<std::uint64_t, kPageWords>;
 
-    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+    SIM_SNAPSHOT_FIELDS(1);
+
+    std::unordered_map<Addr, std::shared_ptr<Page>> pages_;
 };
 
 } // namespace cdfsim::isa

@@ -1,5 +1,9 @@
 #include "isa/oracle.hh"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "common/logging.hh"
 
 namespace cdfsim::isa
@@ -62,6 +66,30 @@ OracleStream::releaseBelow(SeqNum seq)
     }
 }
 
+void
+OracleStream::save(SnapWriter &w) const
+{
+    interp_.save(w);
+    w.u64(window_.size());
+    for (const ExecRecord &e : window_)
+        isa::save(w, e);
+    w.u64(base_);
+    w.b(sawHalt_);
+    w.u64(haltSeq_);
+}
+
+void
+OracleStream::restore(SnapReader &r)
+{
+    interp_.restore(r);
+    window_.resize(r.u64());
+    for (ExecRecord &e : window_)
+        isa::restore(r, e);
+    base_ = r.u64();
+    sawHalt_ = r.b();
+    haltSeq_ = r.u64();
+}
+
 WrongPathWalker::WrongPathWalker(const Program &program,
                                  const MemoryImage &memory)
     : program_(program), memory_(memory)
@@ -102,6 +130,38 @@ WrongPathWalker::execute(Addr pc)
         regs_[uop.dst] = r.result;
     r.seq = kInvalidSeq; // wrong-path records have no program order
     return r;
+}
+
+void
+WrongPathWalker::save(SnapWriter &w) const
+{
+    for (std::uint64_t v : regs_)
+        w.u64(v);
+    // The store buffer hashes by address; sort so the byte stream is
+    // deterministic across processes and library versions.
+    std::vector<std::pair<Addr, std::uint64_t>> entries(
+        storeBuf_.begin(), storeBuf_.end());
+    std::sort(entries.begin(), entries.end());
+    w.u64(entries.size());
+    for (const auto &[addr, val] : entries) {
+        w.u64(addr);
+        w.u64(val);
+    }
+    w.b(active_);
+}
+
+void
+WrongPathWalker::restore(SnapReader &r)
+{
+    for (std::uint64_t &v : regs_)
+        v = r.u64();
+    storeBuf_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Addr addr = r.u64();
+        storeBuf_[addr] = r.u64();
+    }
+    active_ = r.b();
 }
 
 } // namespace cdfsim::isa

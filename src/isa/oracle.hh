@@ -71,8 +71,14 @@ class OracleStream
     const Program &program() const { return interp_.program(); }
     MemoryImage &memory() { return interp_.memory(); }
 
+    /** Snapshot cursors + retained window (not program memory). */
+    void save(SnapWriter &w) const;
+    void restore(SnapReader &r);
+
   private:
     void materializeTo(SeqNum seq);
+
+    SIM_SNAPSHOT_FIELDS(5);
 
     Interpreter interp_;
     std::deque<ExecRecord> window_;
@@ -109,7 +115,13 @@ class WrongPathWalker
     bool active() const { return active_; }
     void deactivate() { active_ = false; }
 
+    /** Snapshot shadow state (store buffer is key-sorted on save). */
+    void save(SnapWriter &w) const;
+    void restore(SnapReader &r);
+
   private:
+    SIM_SNAPSHOT_FIELDS(5);
+
     const Program &program_;
     const MemoryImage &memory_;
     RegFile regs_{};

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace cdfsim::isa
@@ -103,6 +104,27 @@ struct Uop
         return n;
     }
 };
+
+/** Snapshot codec for Uop (field-by-field; see common/serialize.hh). */
+inline void
+save(SnapWriter &w, const Uop &u)
+{
+    w.u8(static_cast<std::uint8_t>(u.op));
+    w.u16(u.dst);
+    w.u16(u.src1);
+    w.u16(u.src2);
+    w.i64(u.imm);
+}
+
+inline void
+restore(SnapReader &r, Uop &u)
+{
+    u.op = static_cast<Opcode>(r.u8());
+    u.dst = r.u16();
+    u.src1 = r.u16();
+    u.src2 = r.u16();
+    u.imm = r.i64();
+}
 
 /** Execution-pipe latency of a uop once its operands are ready. */
 unsigned executeLatency(Opcode op);

@@ -19,6 +19,7 @@
 
 #include "common/audit.hh"
 #include "common/cycle_ring.hh"
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -185,6 +186,40 @@ class Cache
         return mshrs_.empty() ? kNeverCycle : mshrs_.earliest();
     }
 
+    /** Snapshot tags, LRU clock, tag generation and the MSHR ring
+     *  (geometry is config-fixed and excluded). */
+    void
+    save(SnapWriter &w) const
+    {
+        for (const Way &way : tags_) {
+            w.b(way.valid);
+            w.b(way.dirty);
+            w.b(way.prefetched);
+            w.u64(way.lineAddr);
+            w.u64(way.lru);
+            w.u64(way.ready);
+        }
+        w.u64(lruClock_);
+        w.u64(tagGen_);
+        mshrs_.save(w);
+    }
+
+    void
+    restore(SnapReader &r)
+    {
+        for (Way &way : tags_) {
+            way.valid = r.b();
+            way.dirty = r.b();
+            way.prefetched = r.b();
+            way.lineAddr = r.u64();
+            way.lru = r.u64();
+            way.ready = r.u64();
+        }
+        lruClock_ = r.u64();
+        tagGen_ = r.u64();
+        mshrs_.restore(r);
+    }
+
   private:
     struct Way
     {
@@ -207,6 +242,8 @@ class Cache
         return static_cast<std::size_t>(line >> kLineShift) &
                setMask_;
     }
+
+    SIM_SNAPSHOT_FIELDS(18);
 
     std::uint64_t size_;
     unsigned ways_;

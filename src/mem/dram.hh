@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -67,6 +68,33 @@ class DramModel
 
     const DramConfig &config() const { return config_; }
 
+    /** Snapshot per-bank/bus timing state (geometry is config). */
+    void
+    save(SnapWriter &w) const
+    {
+        for (const Channel &ch : channels_) {
+            for (const Bank &bank : ch.banks) {
+                w.b(bank.open);
+                w.u64(bank.openRow);
+                w.u64(bank.busyUntil);
+            }
+            w.u64(ch.busUntil);
+        }
+    }
+
+    void
+    restore(SnapReader &r)
+    {
+        for (Channel &ch : channels_) {
+            for (Bank &bank : ch.banks) {
+                bank.open = r.b();
+                bank.openRow = r.u64();
+                bank.busyUntil = r.u64();
+            }
+            ch.busUntil = r.u64();
+        }
+    }
+
   private:
     struct Bank
     {
@@ -84,6 +112,8 @@ class DramModel
     unsigned channelOf(Addr line) const;
     unsigned bankOf(Addr line) const;
     Addr rowOf(Addr line) const;
+
+    SIM_SNAPSHOT_FIELDS(9);
 
     DramConfig config_;
     std::vector<Channel> channels_;

@@ -149,6 +149,49 @@ class MemHierarchy
         return kCodeBase + pc * 8;
     }
 
+    /**
+     * Snapshot every level plus the outstanding-miss rings, the
+     * probe memo and the prefetch-feedback cursors. Host-side
+     * profiling state is excluded (it never affects timing).
+     */
+    void
+    save(SnapWriter &w) const
+    {
+        l1i_.save(w);
+        l1d_.save(w);
+        llc_.save(w);
+        dram_.save(w);
+        prefetcher_.save(w);
+        demandMisses_.save(w);
+        uselessMisses_.save(w);
+        for (const ProbeCacheEntry &e : probeCache_) {
+            w.u64(e.line);
+            w.u64(e.gen);
+            w.b(e.miss);
+        }
+        w.u64(lastPrefUseful_);
+        w.u64(lastPrefIssued_);
+    }
+
+    void
+    restore(SnapReader &r)
+    {
+        l1i_.restore(r);
+        l1d_.restore(r);
+        llc_.restore(r);
+        dram_.restore(r);
+        prefetcher_.restore(r);
+        demandMisses_.restore(r);
+        uselessMisses_.restore(r);
+        for (ProbeCacheEntry &e : probeCache_) {
+            e.line = r.u64();
+            e.gen = r.u64();
+            e.miss = r.b();
+        }
+        lastPrefUseful_ = r.u64();
+        lastPrefIssued_ = r.u64();
+    }
+
   private:
     static constexpr Addr kCodeBase = Addr{1} << 40;
 
@@ -162,6 +205,8 @@ class MemHierarchy
                                     Cycle now);
     Cycle instrAccessTimed(Addr pc, Cycle now, unsigned &level);
     void recordProfile(unsigned level, std::uint64_t ns);
+
+    SIM_SNAPSHOT_FIELDS(19);
 
     HierarchyConfig config_;
     StatRegistry &stats_;

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -65,6 +66,39 @@ class StreamPrefetcher
 
     unsigned degree() const { return degree_; }
 
+    /** Snapshot stream table and throttle state. */
+    void
+    save(SnapWriter &w) const
+    {
+        for (const Stream &s : streams_) {
+            w.b(s.valid);
+            w.b(s.confirmed);
+            w.i64(s.lastLine);
+            w.i64(s.direction);
+            w.u64(s.lruTick);
+        }
+        w.u32(degree_);
+        w.u64(tick_);
+        w.u64(pendingUseful_);
+        w.u64(pendingIssued_);
+    }
+
+    void
+    restore(SnapReader &r)
+    {
+        for (Stream &s : streams_) {
+            s.valid = r.b();
+            s.confirmed = r.b();
+            s.lastLine = r.i64();
+            s.direction = static_cast<int>(r.i64());
+            s.lruTick = r.u64();
+        }
+        degree_ = r.u32();
+        tick_ = r.u64();
+        pendingUseful_ = r.u64();
+        pendingIssued_ = r.u64();
+    }
+
   private:
     struct Stream
     {
@@ -77,6 +111,8 @@ class StreamPrefetcher
 
     Stream *findStream(std::int64_t line);
     Stream &allocateStream(std::int64_t line);
+
+    SIM_SNAPSHOT_FIELDS(9);
 
     PrefetcherConfig config_;
     std::vector<Stream> streams_;

@@ -32,6 +32,7 @@
 #include "common/flat_map.hh"
 #include "common/histogram.hh"
 #include "common/pool.hh"
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "isa/oracle.hh"
 #include "mem/hierarchy.hh"
@@ -170,6 +171,34 @@ class Core
      */
     void auditRsWakeupCache() const;
 
+    /**
+     * Rename-map/free-list agreement walk: every regular-RAT entry
+     * must name an in-range physical register, map each arch
+     * register to a distinct one, and never overlap the free list;
+     * the critical RAT is held to bounds + uniqueness while it is
+     * live (critRatCopied_). Always compiled; sampled from the
+     * rename stage in Audit builds and run after every restore.
+     */
+    void auditRenameMaps() const;
+
+    /**
+     * Serialize the complete architectural + microarchitectural core
+     * state (core_snapshot.cc). Host-only measurement state (stage
+     * profile, idle-skip bookkeeping) is excluded, so the payload is
+     * independent of profileStages/skipIdleCycles. The stat registry
+     * is NOT included — the owning Simulator snapshots it so the
+     * registry is captured exactly once.
+     */
+    void saveState(SnapWriter &w) const;
+
+    /**
+     * Inverse of saveState() into a core built with the SAME config
+     * (asserted structurally where cheap; guaranteed by the warmup
+     * cache key). After restore, running the core is bit-identical
+     * to running the original, and a re-snapshot is byte-identical.
+     */
+    void restoreState(SnapReader &r);
+
   private:
     friend struct cdfsim::AuditPeer; //!< test-only corruption access
 
@@ -261,7 +290,13 @@ class Core
     Cycle nextEventCycle();
     void bulkAccountSkippedCycles(std::uint64_t n);
 
+    // --- Snapshot helpers (core_snapshot.cc) ---
+    std::uint32_t encInst(const DynInst *inst) const;
+    DynInst *decInst(std::uint32_t idx);
+
     // ------------------------------------------------------------------
+    SIM_SNAPSHOT_FIELDS(125);
+
     CoreConfig config_;
     StatRegistry &stats_;
     isa::OracleStream oracle_;
@@ -459,6 +494,7 @@ class Core
     // after one failed to jump; purely a host-time rate limiter.
     Cycle skipRecheckAt_ = 0;
     mutable AuditSampler rsAudit_{4096};
+    mutable AuditSampler renameAudit_{8192};
     RunningMean mlpWhenActive_;
     RunningMean uselessMlpWhenActive_;
     RunningMean fig1CriticalFrac_;

@@ -25,6 +25,7 @@ namespace cdfsim::ooo
 void
 Core::renameStage()
 {
+    SIM_AUDIT_ONLY(if (renameAudit_.due()) auditRenameMaps();)
     unsigned slots = config_.width;
     // The Issue logic prefers the critical rename stage whenever it
     // has work (Section 3.5); total bandwidth is shared.

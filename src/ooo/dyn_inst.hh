@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "bp/predictor.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 #include "isa/uop.hh"
 
@@ -98,6 +99,102 @@ struct DynInst
 
     /** 8-byte-aligned word address for disambiguation. */
     Addr memWord() const { return memAddr >> 3; }
+
+    /** Snapshot every field verbatim (field order above), so a
+     *  restored record re-snapshots byte-identically. */
+    void
+    save(SnapWriter &w) const
+    {
+        w.u64(fetchSeq);
+        w.u64(ts);
+        w.u64(pc);
+        isa::save(w, uop);
+        w.b(onPath);
+        w.b(critical);
+        w.b(cdfFetched);
+        w.b(criticalStream);
+        w.u64(memAddr);
+        w.b(taken);
+        w.u64(actualTarget);
+        w.b(predTaken);
+        w.u64(predTarget);
+        w.b(mispredicted);
+        w.b(btbMissBubble);
+        bp::save(w, tageInfo);
+        w.u16(physDst);
+        w.u16(oldPhysDst);
+        w.u16(oldPhysDstCrit);
+        w.u16(physSrc1);
+        w.u16(physSrc2);
+        w.b(renamedRegular);
+        w.b(renamedCritical);
+        w.b(hasPoisonSnapshot);
+        w.u64(poisonSnapshot);
+        w.u8(static_cast<std::uint8_t>(state));
+        w.u64(fetchCycle);
+        w.u64(renameCycle);
+        w.u64(readyAtRename);
+        w.u64(completionCycle);
+        w.u64(rsNextTry);
+        w.b(llcMiss);
+        w.b(l1Miss);
+        w.u64(forwardSrcTs);
+        w.b(addrKnown);
+        w.b(hasBpCheckpoint);
+        bp::save(w, bpCheckpoint);
+        w.b(doomed);
+        w.u32(poolIdx);
+        w.u32(prevIdx);
+        w.u32(nextIdx);
+    }
+
+    void
+    restore(SnapReader &r)
+    {
+        fetchSeq = r.u64();
+        ts = r.u64();
+        pc = r.u64();
+        isa::restore(r, uop);
+        onPath = r.b();
+        critical = r.b();
+        cdfFetched = r.b();
+        criticalStream = r.b();
+        memAddr = r.u64();
+        taken = r.b();
+        actualTarget = r.u64();
+        predTaken = r.b();
+        predTarget = r.u64();
+        mispredicted = r.b();
+        btbMissBubble = r.b();
+        bp::restore(r, tageInfo);
+        physDst = r.u16();
+        oldPhysDst = r.u16();
+        oldPhysDstCrit = r.u16();
+        physSrc1 = r.u16();
+        physSrc2 = r.u16();
+        renamedRegular = r.b();
+        renamedCritical = r.b();
+        hasPoisonSnapshot = r.b();
+        poisonSnapshot = r.u64();
+        state = static_cast<InstState>(r.u8());
+        fetchCycle = r.u64();
+        renameCycle = r.u64();
+        readyAtRename = r.u64();
+        completionCycle = r.u64();
+        rsNextTry = r.u64();
+        llcMiss = r.b();
+        l1Miss = r.b();
+        forwardSrcTs = r.u64();
+        addrKnown = r.b();
+        hasBpCheckpoint = r.b();
+        bp::restore(r, bpCheckpoint);
+        doomed = r.b();
+        poolIdx = r.u32();
+        prevIdx = r.u32();
+        nextIdx = r.u32();
+    }
+
+    SIM_SNAPSHOT_FIELDS(41);
 };
 
 } // namespace cdfsim::ooo

@@ -14,6 +14,7 @@
 #include <deque>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "ooo/dyn_inst.hh"
 
 namespace cdfsim::ooo
@@ -101,7 +102,38 @@ class MemQueue
         nonCrit_.clear();
     }
 
+    /** Snapshot both sections as pool handles via @p enc
+     *  (DynInst* -> u32); forEach() cannot reconstruct the section
+     *  split, hence the member codec. */
+    template <typename EncFn>
+    void
+    save(SnapWriter &w, EncFn &&enc) const
+    {
+        w.u32(critCap_);
+        w.u32(static_cast<std::uint32_t>(crit_.size()));
+        for (const DynInst *inst : crit_)
+            w.u32(enc(inst));
+        w.u32(static_cast<std::uint32_t>(nonCrit_.size()));
+        for (const DynInst *inst : nonCrit_)
+            w.u32(enc(inst));
+    }
+
+    template <typename DecFn>
+    void
+    restore(SnapReader &r, DecFn &&dec)
+    {
+        critCap_ = r.u32();
+        crit_.clear();
+        nonCrit_.clear();
+        for (std::uint32_t n = r.u32(); n-- > 0;)
+            crit_.push_back(dec(r.u32()));
+        for (std::uint32_t n = r.u32(); n-- > 0;)
+            nonCrit_.push_back(dec(r.u32()));
+    }
+
   private:
+    SIM_SNAPSHOT_FIELDS(4);
+
     unsigned size_;
     unsigned critCap_;
     std::deque<DynInst *> crit_;
@@ -174,7 +206,26 @@ class Lsq
         return worst;
     }
 
+    /** Snapshot both queues (delegates the pointer codec). */
+    template <typename EncFn>
+    void
+    save(SnapWriter &w, EncFn &&enc) const
+    {
+        lq_.save(w, enc);
+        sq_.save(w, enc);
+    }
+
+    template <typename DecFn>
+    void
+    restore(SnapReader &r, DecFn &&dec)
+    {
+        lq_.restore(r, dec);
+        sq_.restore(r, dec);
+    }
+
   private:
+    SIM_SNAPSHOT_FIELDS(2);
+
     MemQueue lq_;
     MemQueue sq_;
 };

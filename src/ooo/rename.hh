@@ -18,7 +18,9 @@
 #include <bitset>
 #include <vector>
 
+#include "common/audit.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 #include "isa/uop.hh"
 
@@ -83,7 +85,40 @@ class PhysRegFile
         return p == kInvalidReg || readyAt_[p] <= now;
     }
 
+    /** Free-list view for the rename-map audit walk. */
+    const std::vector<RegId> &freeRegs() const { return freeList_; }
+
+    /** Snapshot ready times and the free list verbatim (allocation
+     *  order is architectural: it decides future mappings). */
+    void
+    save(SnapWriter &w) const
+    {
+        w.u32(static_cast<std::uint32_t>(readyAt_.size()));
+        for (Cycle c : readyAt_)
+            w.u64(c);
+        w.u32(static_cast<std::uint32_t>(freeList_.size()));
+        for (RegId p : freeList_)
+            w.u16(p);
+    }
+
+    void
+    restore(SnapReader &r)
+    {
+        const std::uint32_t n = r.u32();
+        SIM_ASSERT(n == readyAt_.size(),
+                   "snapshot phys reg count differs from this core's");
+        for (Cycle &c : readyAt_)
+            c = r.u64();
+        freeList_.resize(r.u32());
+        for (RegId &p : freeList_)
+            p = r.u16();
+    }
+
   private:
+    SIM_SNAPSHOT_FIELDS(2);
+
+    friend struct cdfsim::AuditPeer;
+
     std::vector<Cycle> readyAt_;
     std::vector<RegId> freeList_;
 };
@@ -180,7 +215,28 @@ class RenameMap
                (uop.src2 != kInvalidReg && poison_[uop.src2]);
     }
 
+    /** Snapshot the mapping table and the poison bits. */
+    void
+    save(SnapWriter &w) const
+    {
+        for (RegId p : table_)
+            w.u16(p);
+        w.u64(poisonBits());
+    }
+
+    void
+    restore(SnapReader &r)
+    {
+        for (RegId &p : table_)
+            p = r.u16();
+        setPoisonBits(r.u64());
+    }
+
   private:
+    SIM_SNAPSHOT_FIELDS(2);
+
+    friend struct cdfsim::AuditPeer;
+
     std::array<RegId, kNumArchRegs> table_;
     std::bitset<kNumArchRegs> poison_;
 };

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "ooo/dyn_inst.hh"
 #include "ooo/rename.hh"
 
@@ -166,7 +167,38 @@ class ReservationStations
         reg_.clear();
     }
 
+    /** Snapshot both classes as pool handles via @p enc
+     *  (DynInst* -> u32). The issue scratch vector is transient
+     *  (cleared at the top of every selectAndIssue) and excluded. */
+    template <typename EncFn>
+    void
+    save(SnapWriter &w, EncFn &&enc) const
+    {
+        w.u32(critCap_);
+        w.u32(static_cast<std::uint32_t>(crit_.size()));
+        for (const DynInst *inst : crit_)
+            w.u32(enc(inst));
+        w.u32(static_cast<std::uint32_t>(reg_.size()));
+        for (const DynInst *inst : reg_)
+            w.u32(enc(inst));
+    }
+
+    template <typename DecFn>
+    void
+    restore(SnapReader &r, DecFn &&dec)
+    {
+        critCap_ = r.u32();
+        crit_.clear();
+        reg_.clear();
+        for (std::uint32_t n = r.u32(); n-- > 0;)
+            crit_.push_back(dec(r.u32()));
+        for (std::uint32_t n = r.u32(); n-- > 0;)
+            reg_.push_back(dec(r.u32()));
+    }
+
   private:
+    SIM_SNAPSHOT_FIELDS(5);
+
     unsigned size_;
     unsigned critCap_;
     std::vector<DynInst *> crit_; //!< ts-sorted critical entries

@@ -7,13 +7,40 @@
 namespace cdfsim::sim
 {
 
+namespace
+{
+
+/** Build the shared pristine image for a workload (init applied). */
+std::shared_ptr<const isa::MemoryImage>
+makePristine(const workloads::Workload &workload)
+{
+    auto image = std::make_shared<isa::MemoryImage>();
+    if (workload.init)
+        workload.init(*image);
+    return image;
+}
+
+} // namespace
+
 Simulator::Simulator(const ooo::CoreConfig &config,
                      workloads::Workload workload)
-    : config_(config), workload_(std::move(workload))
+    : Simulator(config,
+                std::make_shared<const workloads::Workload>(
+                    std::move(workload)),
+                nullptr)
 {
-    if (workload_.init)
-        workload_.init(memory_);
-    core_ = std::make_unique<ooo::Core>(config_, workload_.program,
+}
+
+Simulator::Simulator(
+    const ooo::CoreConfig &config,
+    std::shared_ptr<const workloads::Workload> workload,
+    std::shared_ptr<const isa::MemoryImage> pristine)
+    : config_(config), workload_(std::move(workload)),
+      pristine_(pristine ? std::move(pristine)
+                         : makePristine(*workload_)),
+      memory_(*pristine_) // COW: copies the page table, not pages
+{
+    core_ = std::make_unique<ooo::Core>(config_, workload_->program,
                                         memory_, stats_);
 }
 
@@ -34,28 +61,37 @@ phaseDeadline(Cycle now, Cycle budget)
 RunResult
 Simulator::run(const RunSpec &spec)
 {
-    RunResult r;
+    return measure(spec, warmup(spec));
+}
 
+bool
+Simulator::warmup(const RunSpec &spec)
+{
     // Warmup: caches, predictors and (for CDF/PRE) the criticality
     // tables and uop cache train here, mirroring the paper's
     // 200M-instruction warmup at reduced scale. The cycle budget is
     // relative to the phase start so warmup cycles never eat the
     // measurement budget (and re-running an already-advanced
     // Simulator keeps working).
-    if (spec.warmupInstrs > 0) {
-        const std::uint64_t target = core_->retired() + spec.warmupInstrs;
-        core_->run(target,
-                   phaseDeadline(core_->cycle(), spec.maxCycles));
-        r.warmupTruncated =
-            !core_->halted() && core_->retired() < target;
-    }
+    if (spec.warmupInstrs == 0)
+        return false;
+    const std::uint64_t target = core_->retired() + spec.warmupInstrs;
+    core_->run(target, phaseDeadline(core_->cycle(), spec.maxCycles));
+    return !core_->halted() && core_->retired() < target;
+}
+
+RunResult
+Simulator::measure(const RunSpec &spec, bool warmupTruncated)
+{
+    RunResult r;
+    r.warmupTruncated = warmupTruncated;
     core_->resetMeasurement();
 
     const std::uint64_t target = core_->retired() + spec.measureInstrs;
     core_->run(target, phaseDeadline(core_->cycle(), spec.maxCycles));
     r.halted = core_->halted();
     r.truncated = !r.halted && core_->retired() < target;
-    r.workload = workload_.name;
+    r.workload = workload_->name;
     r.mode = config_.mode;
     r.core = core_->result();
     r.energy = energy::Model::evaluate(config_, stats_,
@@ -65,6 +101,35 @@ Simulator::run(const RunSpec &spec)
     r.skippedCycles = core_->skippedCycles();
     r.skipEvents = core_->skipEvents();
     return r;
+}
+
+void
+Simulator::saveState(SnapWriter &w) const
+{
+    // Stats first: every counter by name, so a restored registry has
+    // exactly the key set of the warmed one (counters created lazily
+    // during warmup included — a fresh same-config registry might
+    // not have allocated them yet).
+    const auto &counters = stats_.all();
+    w.u64(counters.size());
+    for (const auto &[name, value] : counters) {
+        w.str(name);
+        w.u64(value);
+    }
+    memory_.saveDelta(w, *pristine_);
+    core_->saveState(w);
+}
+
+void
+Simulator::restoreState(SnapReader &r)
+{
+    stats_.resetAll();
+    for (std::uint64_t n = r.u64(); n-- > 0;) {
+        const std::string name = r.str();
+        stats_.counter(name) = r.u64();
+    }
+    memory_.restoreDelta(r, *pristine_);
+    core_->restoreState(r);
 }
 
 const char *

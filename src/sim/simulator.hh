@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "energy/energy_model.hh"
 #include "ooo/core.hh"
@@ -81,23 +82,69 @@ struct RunResult
  *   Simulator sim(config, workloads::makeWorkload("astar"));
  *   RunResult r = sim.run({});
  * @endcode
+ *
+ * run() is exactly warmup() followed by measure(); the split exists
+ * so the warmup checkpointing layer (sim/snapshot.hh, SweepRunner)
+ * can snapshot at the phase boundary with saveState() and later
+ * resume a fresh same-config Simulator from it with restoreState().
+ * A restored simulator is indistinguishable from one that warmed up
+ * itself: measure() after restoreState() produces byte-identical
+ * results.
  */
 class Simulator
 {
   public:
     Simulator(const ooo::CoreConfig &config,
               workloads::Workload workload);
+
+    /**
+     * Shared-workload constructor: the program and the pristine
+     * post-init memory image are immutable and shared across every
+     * Simulator for the same workload (SweepRunner builds them once
+     * per name). The data memory starts as a copy-on-write copy of
+     * @p pristine, so cells only pay for the pages they dirty.
+     */
+    Simulator(const ooo::CoreConfig &config,
+              std::shared_ptr<const workloads::Workload> workload,
+              std::shared_ptr<const isa::MemoryImage> pristine);
     ~Simulator();
 
     /** Warm up, reset stats, measure, and summarize. */
     RunResult run(const RunSpec &spec);
 
+    /** Run only the warmup phase; returns "warmup was truncated".
+     *  run(spec) == measure(spec, warmup(spec)), byte for byte. */
+    bool warmup(const RunSpec &spec);
+
+    /** Reset the measurement window and run the measure phase.
+     *  @p warmupTruncated is echoed into the result (it is warmup
+     *  provenance, carried by checkpoints for restored runs). */
+    RunResult measure(const RunSpec &spec, bool warmupTruncated);
+
+    /**
+     * Serialize the complete simulator state: every stat counter,
+     * the memory delta against the shared pristine image, and the
+     * full core (pipeline, predictors, caches, CDF/PRE machinery,
+     * interpreter/oracle cursors). Call at a phase boundary (after
+     * warmup()); host-only profiling state is excluded by contract.
+     */
+    void saveState(SnapWriter &w) const;
+
+    /** Inverse of saveState(). The simulator must have been built
+     *  with the same config and workload as the saved one. */
+    void restoreState(SnapReader &r);
+
     ooo::Core &core() { return *core_; }
     StatRegistry &stats() { return stats_; }
+    const workloads::Workload &workload() const { return *workload_; }
 
   private:
+    SIM_SNAPSHOT_FIELDS(6);
+
     ooo::CoreConfig config_;
-    workloads::Workload workload_;
+    std::shared_ptr<const workloads::Workload> workload_;
+    /** Post-init memory image; memory_ deltas are taken against it. */
+    std::shared_ptr<const isa::MemoryImage> pristine_;
     StatRegistry stats_;
     isa::MemoryImage memory_;
     std::unique_ptr<ooo::Core> core_;

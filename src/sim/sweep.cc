@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
+
+#include "sim/snapshot.hh"
 
 namespace cdfsim::sim
 {
@@ -18,11 +24,171 @@ SweepRunner::SweepRunner(unsigned threads) : threads_(threads)
     }
 }
 
+namespace
+{
+
+/** The immutable per-workload-name state every cell shares: the
+ *  program and the pristine post-init memory image. */
+struct SharedWorkload
+{
+    std::shared_ptr<const workloads::Workload> workload;
+    std::shared_ptr<const isa::MemoryImage> pristine;
+    /** Construction failure (e.g. unknown name); every cell naming
+     *  this workload reports it as its own cell error. */
+    std::string error;
+};
+
+/** One warmup-key equivalence class of cells. */
+struct WarmupGroup
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    /** 0 = unclaimed, 1 = a leader is warming, 2 = checkpoint ready
+     *  (ckpt is immutable from then on), 3 = the leader failed and
+     *  followers must warm themselves. */
+    int state = 0;
+    std::size_t members = 0;
+    Checkpoint ckpt;
+};
+
+} // namespace
+
 std::vector<SweepOutcome>
 SweepRunner::runAll(const std::vector<SweepCell> &cells,
-                    const SweepProgressFn &progress) const
+                    const SweepProgressFn &progress)
 {
     std::vector<SweepOutcome> outcomes(cells.size());
+    ckptStats_ = CkptStats{};
+
+    // Build each workload once, serially: the program and pristine
+    // memory image are immutable afterwards and shared by every cell
+    // (cells copy the image copy-on-write, paying only for pages
+    // they dirty).
+    std::unordered_map<std::string, SharedWorkload> shared;
+    for (const SweepCell &cell : cells) {
+        SharedWorkload &s = shared[cell.workload];
+        if (s.workload || !s.error.empty())
+            continue;
+        try {
+            s.workload = std::make_shared<const workloads::Workload>(
+                workloads::makeWorkload(cell.workload));
+            auto image = std::make_shared<isa::MemoryImage>();
+            if (s.workload->init)
+                s.workload->init(*image);
+            s.pristine = std::move(image);
+        } catch (const std::exception &e) {
+            s = SharedWorkload{};
+            s.error = e.what();
+        }
+    }
+
+    // Group cells by warmup key. Cells with no warmup phase are not
+    // memoized (there is nothing to share).
+    std::vector<std::uint64_t> keys(cells.size(), 0);
+    std::vector<bool> memoized(cells.size(), false);
+    std::unordered_map<std::uint64_t, std::unique_ptr<WarmupGroup>>
+        groups;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (cells[i].spec.warmupInstrs == 0)
+            continue;
+        ooo::CoreConfig keyConfig = cells[i].config;
+        keyConfig.mode = cells[i].mode;
+        keys[i] =
+            warmupKey(cells[i].workload, keyConfig, cells[i].spec);
+        memoized[i] = true;
+        auto &group = groups[keys[i]];
+        if (!group)
+            group = std::make_unique<WarmupGroup>();
+        ++group->members;
+    }
+
+    std::mutex ckptStatsMutex;
+    auto countHit = [&](double restoreSeconds) {
+        std::lock_guard<std::mutex> lock(ckptStatsMutex);
+        ++ckptStats_.hits;
+        ckptStats_.restoreSeconds += restoreSeconds;
+    };
+    auto countMiss = [&]() {
+        std::lock_guard<std::mutex> lock(ckptStatsMutex);
+        ++ckptStats_.misses;
+    };
+
+    /** Restore @p simulator from the group's ready checkpoint. */
+    auto restoreFrom = [&](Simulator &simulator,
+                           const WarmupGroup &group) -> bool {
+        const auto t0 = std::chrono::steady_clock::now();
+        SnapReader reader(group.ckpt.payload);
+        simulator.restoreState(reader);
+        countHit(std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count());
+        return group.ckpt.warmupTruncated;
+    };
+
+    /** Warm @p simulator through the group: lead, follow, or (after
+     *  a leader failure) self-warm. Returns warmupTruncated. */
+    auto warmShared = [&](Simulator &simulator, WarmupGroup &group,
+                          std::uint64_t key,
+                          const RunSpec &spec) -> bool {
+        std::unique_lock<std::mutex> lock(group.mutex);
+        if (group.state == 0) {
+            if (!ckptDir_.empty()) {
+                // Another process may have warmed this key already.
+                auto loaded = loadCheckpointFile(
+                    ckptDir_ + "/" + checkpointFileName(key), key);
+                if (loaded) {
+                    group.ckpt = std::move(*loaded);
+                    group.state = 2;
+                    lock.unlock();
+                    return restoreFrom(simulator, group);
+                }
+            }
+            group.state = 1; // this cell leads
+            lock.unlock();
+            try {
+                const bool truncated = simulator.warmup(spec);
+                Checkpoint fresh;
+                fresh.warmupTruncated = truncated;
+                // Snapshotting costs host time; skip it when nobody
+                // could ever consume it (singleton group, no disk
+                // cache).
+                if (group.members > 1 || !ckptDir_.empty()) {
+                    SnapWriter writer;
+                    simulator.saveState(writer);
+                    fresh.payload = writer.take();
+                }
+                lock.lock();
+                group.ckpt = std::move(fresh);
+                group.state = 2;
+                group.cv.notify_all();
+                lock.unlock();
+            } catch (...) {
+                lock.lock();
+                group.state = 3;
+                group.cv.notify_all();
+                lock.unlock();
+                throw;
+            }
+            countMiss();
+            if (!ckptDir_.empty() && !group.ckpt.payload.empty()) {
+                saveCheckpointFile(ckptDir_ + "/" +
+                                       checkpointFileName(key),
+                                   key, group.ckpt);
+            }
+            return group.ckpt.warmupTruncated;
+        }
+        group.cv.wait(lock,
+                      [&group] { return group.state >= 2; });
+        if (group.state == 2) {
+            lock.unlock();
+            return restoreFrom(simulator, group);
+        }
+        // The leader died; its error is captured in its own outcome.
+        // Warm independently so this cell still gets a fair run.
+        lock.unlock();
+        countMiss();
+        return simulator.warmup(spec);
+    };
 
     std::atomic<std::size_t> nextCell{0};
     std::atomic<std::size_t> doneCells{0};
@@ -39,10 +205,21 @@ SweepRunner::runAll(const std::vector<SweepCell> &cells,
             out.cell = cells[i];
             out.cell.config.mode = out.cell.mode;
             try {
-                Simulator simulator(
-                    out.cell.config,
-                    workloads::makeWorkload(out.cell.workload));
-                out.run = simulator.run(out.cell.spec);
+                const SharedWorkload &s = shared.at(out.cell.workload);
+                if (!s.workload)
+                    throw PanicError(s.error);
+                Simulator simulator(out.cell.config, s.workload,
+                                    s.pristine);
+                bool warmupTruncated;
+                if (memoized[i]) {
+                    warmupTruncated =
+                        warmShared(simulator, *groups.at(keys[i]),
+                                   keys[i], out.cell.spec);
+                } else {
+                    warmupTruncated = simulator.warmup(out.cell.spec);
+                }
+                out.run = simulator.measure(out.cell.spec,
+                                            warmupTruncated);
             } catch (const std::exception &e) {
                 out.error = e.what();
             }

@@ -64,6 +64,17 @@ using SweepProgressFn = std::function<void(
  * completion order, so downstream aggregation (tables, geomeans,
  * JSON) is deterministic. A panicking cell is captured into
  * SweepOutcome::error instead of tearing down the whole sweep.
+ *
+ * Cells sharing a warmup (same sim::warmupKey — workload, mode,
+ * warmup-relevant config and warmup length) warm up ONCE: the first
+ * cell of each group to start acts as leader, snapshots its state at
+ * the warmup/measure boundary (Simulator::saveState), and the rest
+ * restore from that in-memory checkpoint instead of re-simulating
+ * the warmup. With setCheckpointDir(), checkpoints additionally
+ * spill to / load from disk, so separate bench processes over the
+ * same matrix (fig13 then fig14...) share warmups too. Restoring is
+ * bit-identical to warming (tests/test_snapshot), so memoization
+ * changes wall-clock time only — never a stat, result or artifact.
  */
 class SweepRunner
 {
@@ -73,12 +84,29 @@ class SweepRunner
 
     unsigned threads() const { return threads_; }
 
+    /** Spill/load warmup checkpoints under @p dir (empty string
+     *  disables the on-disk cache; in-memory sharing still runs).
+     *  The directory must already exist. */
+    void setCheckpointDir(std::string dir) { ckptDir_ = std::move(dir); }
+    const std::string &checkpointDir() const { return ckptDir_; }
+
+    /** Host-side accounting of the last runAll() (bench "timing"). */
+    struct CkptStats
+    {
+        std::uint64_t hits = 0;   //!< cells that restored a checkpoint
+        std::uint64_t misses = 0; //!< cells that warmed from scratch
+        double restoreSeconds = 0.0; //!< host time in restoreState()
+    };
+    const CkptStats &ckptStats() const { return ckptStats_; }
+
     std::vector<SweepOutcome>
     runAll(const std::vector<SweepCell> &cells,
-           const SweepProgressFn &progress = {}) const;
+           const SweepProgressFn &progress = {});
 
   private:
     unsigned threads_;
+    std::string ckptDir_;
+    CkptStats ckptStats_;
 };
 
 /** Lower-case mode name: "baseline", "cdf", "pre". */

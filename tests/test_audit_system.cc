@@ -1,8 +1,10 @@
 /**
  * @file
  * Corruption tests for the system-level audit walks: the core's RS
- * wakeup cache (Core::auditRsWakeupCache) and the memory hierarchy's
- * LLC probe memo (MemHierarchy::auditProbeCache).
+ * wakeup cache (Core::auditRsWakeupCache), its rename maps
+ * (Core::auditRenameMaps), the memory hierarchy's LLC probe memo
+ * (MemHierarchy::auditProbeCache), and the CDF side tables
+ * (CriticalCountTable::auditInvariants, MaskCache::auditInvariants).
  *
  * Unlike tests/test_audit.cc — which covers the header-only audited
  * containers and deliberately links only cdfsim_common — these walks
@@ -22,12 +24,15 @@
 #include <memory>
 #include <utility>
 
+#include "cdf/critical_table.hh"
+#include "cdf/mask_cache.hh"
 #include "common/audit.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 #include "mem/hierarchy.hh"
 #include "ooo/core.hh"
 #include "ooo/dyn_inst.hh"
+#include "ooo/rename.hh"
 #include "sim/simulator.hh"
 #include "workloads/workloads.hh"
 
@@ -168,6 +173,137 @@ struct AuditPeer
         }
         return false;
     }
+
+    // --- CDF side tables: CCT and mask cache ------------------------
+
+    static cdf::CriticalCountTable *
+    loadCct(ooo::Core &c)
+    {
+        return c.loadCct_.get();
+    }
+
+    static cdf::MaskCache *
+    maskCache(ooo::Core &c)
+    {
+        return c.maskCache_.get();
+    }
+
+    /** Clone a valid CCT tag into a second way of the same set. */
+    static bool
+    duplicateCctTag(cdf::CriticalCountTable &t)
+    {
+        const unsigned ways = t.config_.ways;
+        for (std::size_t set = 0; set < t.sets_; ++set) {
+            auto *base = &t.entries_[set * ways];
+            for (unsigned w = 0; w < ways; ++w) {
+                if (!base[w].valid)
+                    continue;
+                const unsigned other = (w + 1) % ways;
+                base[other].valid = true;
+                base[other].tag = base[w].tag;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Stamp a valid CCT entry newer than the allocation clock. */
+    static bool
+    skewCctLruTick(cdf::CriticalCountTable &t)
+    {
+        for (auto &e : t.entries_) {
+            if (!e.valid)
+                continue;
+            e.lruTick = t.tick_ + 1;
+            return true;
+        }
+        return false;
+    }
+
+    /** Move a valid CCT entry into a set its tag cannot hash to. */
+    static bool
+    teleportCctEntry(cdf::CriticalCountTable &t)
+    {
+        const unsigned ways = t.config_.ways;
+        if (t.sets_ < 2)
+            return false;
+        for (std::size_t set = 0; set < t.sets_; ++set) {
+            auto *base = &t.entries_[set * ways];
+            for (unsigned w = 0; w < ways; ++w) {
+                if (!base[w].valid)
+                    continue;
+                t.entries_[((set + 1) % t.sets_) * ways] = base[w];
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Clone a valid mask cache tag into a second way of its set. */
+    static bool
+    duplicateMaskTag(cdf::MaskCache &m)
+    {
+        const unsigned ways = m.config_.ways;
+        for (std::size_t set = 0; set < m.sets_; ++set) {
+            auto *base = &m.entries_[set * ways];
+            for (unsigned w = 0; w < ways; ++w) {
+                if (!base[w].valid)
+                    continue;
+                const unsigned other = (w + 1) % ways;
+                base[other].valid = true;
+                base[other].tag = base[w].tag;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Stamp a valid mask cache entry ahead of the clock. */
+    static bool
+    skewMaskLruTick(cdf::MaskCache &m)
+    {
+        for (auto &e : m.entries_) {
+            if (!e.valid)
+                continue;
+            e.lruTick = m.tick_ + 1;
+            return true;
+        }
+        return false;
+    }
+
+    // --- Core: rename maps ------------------------------------------
+
+    /** Point an arch reg at a physical register that does not exist. */
+    static void
+    ratOutOfRange(ooo::Core &c)
+    {
+        c.rat_.table_[0] = static_cast<RegId>(c.prf_.size());
+    }
+
+    /** Map two arch regs onto the same physical register. */
+    static void
+    ratDuplicateMapping(ooo::Core &c)
+    {
+        c.rat_.table_[1] = c.rat_.table_[0];
+    }
+
+    /** Push a RAT-mapped register back onto the free list, the
+     *  double-release a squash-walk bug would produce. */
+    static void
+    freeListOverlap(ooo::Core &c)
+    {
+        c.prf_.freeList_.push_back(c.rat_.lookup(0));
+    }
+
+    /** Duplicate a mapping in the critical RAT, if one is live. */
+    static bool
+    critRatDuplicateMapping(ooo::Core &c)
+    {
+        if (!c.critRatCopied_)
+            return false;
+        c.critRat_.table_[1] = c.critRat_.table_[0];
+        return true;
+    }
 };
 
 } // namespace cdfsim
@@ -280,6 +416,140 @@ TEST_F(AuditSystem, ProbeCacheFiresOnTeleportedEntry)
     populateProbeCache();
     ASSERT_TRUE(AuditPeer::teleportProbeEntry(mem()));
     EXPECT_THROW(mem().auditProbeCache(), PanicError);
+}
+
+// ------------------------------------------------- rename maps
+
+TEST_F(AuditSystem, RenameMapsSilentOnDrivenCore)
+{
+    EXPECT_NO_THROW(core().auditRenameMaps());
+}
+
+TEST_F(AuditSystem, RenameMapsFireOnOutOfRangeEntry)
+{
+    AuditPeer::ratOutOfRange(core());
+    EXPECT_THROW(core().auditRenameMaps(), PanicError);
+}
+
+TEST_F(AuditSystem, RenameMapsFireOnDuplicateMapping)
+{
+    AuditPeer::ratDuplicateMapping(core());
+    EXPECT_THROW(core().auditRenameMaps(), PanicError);
+}
+
+TEST_F(AuditSystem, RenameMapsFireOnFreeListOverlap)
+{
+    AuditPeer::freeListOverlap(core());
+    EXPECT_THROW(core().auditRenameMaps(), PanicError);
+}
+
+// ------------------------------------------------- CDF side tables
+
+/**
+ * As AuditSystem, but in CDF mode so retire training populates the
+ * load CCT and episodes merge masks into the mask cache. mcf is
+ * memory bound, so CDF engages within the first few thousand
+ * instructions.
+ */
+class AuditSystemCdf : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        cdfsim::ooo::CoreConfig cfg;
+        cfg.mode = cdfsim::ooo::CoreMode::Cdf;
+        sim_ = std::make_unique<cdfsim::sim::Simulator>(
+            cfg, cdfsim::workloads::makeWorkload("mcf"));
+    }
+
+    cdfsim::ooo::Core &core() { return sim_->core(); }
+
+    /** Step until @p corrupt lands (it returns false while the state
+     *  it targets has not appeared yet), then expect the walk named
+     *  by @p walk to panic. */
+    template <typename Corrupt, typename Walk>
+    void
+    expectFires(Corrupt &&corrupt, Walk &&walk)
+    {
+        auto &c = core();
+        bool corrupted = corrupt(c);
+        for (int i = 0; i < 64 && !corrupted && !c.halted(); ++i) {
+            c.run(c.retired() + 2'000);
+            corrupted = corrupt(c);
+        }
+        ASSERT_TRUE(corrupted)
+            << "target state never appeared on mcf/cdf";
+        EXPECT_THROW(walk(c), PanicError);
+    }
+
+    std::unique_ptr<cdfsim::sim::Simulator> sim_;
+};
+
+TEST_F(AuditSystemCdf, SideTablesSilentOnDrivenCore)
+{
+    auto &c = core();
+    c.run(c.retired() + 100'000);
+    ASSERT_NE(AuditPeer::loadCct(c), nullptr);
+    ASSERT_NE(AuditPeer::maskCache(c), nullptr);
+    EXPECT_NO_THROW(AuditPeer::loadCct(c)->auditInvariants());
+    EXPECT_NO_THROW(AuditPeer::maskCache(c)->auditInvariants());
+    EXPECT_NO_THROW(c.auditRenameMaps());
+}
+
+TEST_F(AuditSystemCdf, CctFiresOnDuplicateTag)
+{
+    expectFires(
+        [](auto &c) {
+            return AuditPeer::duplicateCctTag(*AuditPeer::loadCct(c));
+        },
+        [](auto &c) { AuditPeer::loadCct(c)->auditInvariants(); });
+}
+
+TEST_F(AuditSystemCdf, CctFiresOnLruAheadOfClock)
+{
+    expectFires(
+        [](auto &c) {
+            return AuditPeer::skewCctLruTick(*AuditPeer::loadCct(c));
+        },
+        [](auto &c) { AuditPeer::loadCct(c)->auditInvariants(); });
+}
+
+TEST_F(AuditSystemCdf, CctFiresOnTeleportedEntry)
+{
+    expectFires(
+        [](auto &c) {
+            return AuditPeer::teleportCctEntry(
+                *AuditPeer::loadCct(c));
+        },
+        [](auto &c) { AuditPeer::loadCct(c)->auditInvariants(); });
+}
+
+TEST_F(AuditSystemCdf, MaskCacheFiresOnDuplicateTag)
+{
+    expectFires(
+        [](auto &c) {
+            return AuditPeer::duplicateMaskTag(
+                *AuditPeer::maskCache(c));
+        },
+        [](auto &c) { AuditPeer::maskCache(c)->auditInvariants(); });
+}
+
+TEST_F(AuditSystemCdf, MaskCacheFiresOnLruAheadOfClock)
+{
+    expectFires(
+        [](auto &c) {
+            return AuditPeer::skewMaskLruTick(
+                *AuditPeer::maskCache(c));
+        },
+        [](auto &c) { AuditPeer::maskCache(c)->auditInvariants(); });
+}
+
+TEST_F(AuditSystemCdf, CritRatFiresOnDuplicateMapping)
+{
+    expectFires(
+        [](auto &c) { return AuditPeer::critRatDuplicateMapping(c); },
+        [](auto &c) { c.auditRenameMaps(); });
 }
 
 } // namespace

@@ -1,0 +1,434 @@
+/**
+ * @file
+ * Warmup-checkpointing tests.
+ *
+ * The contract under test: Simulator::restoreState(saveState()) is
+ * indistinguishable from never having snapshotted — a restored
+ * simulator's measurement phase is byte-identical (JSON dump of the
+ * RunResult, which captures every stat, result and energy field) to
+ * a straight-through run. Plus the checkpoint container format
+ * (validation, corruption rejection, on-disk determinism) and the
+ * SweepRunner memoization built on top.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "sim/snapshot.hh"
+#include "sim/sweep.hh"
+
+using namespace cdfsim;
+
+namespace
+{
+
+ooo::CoreConfig
+configFor(ooo::CoreMode mode)
+{
+    ooo::CoreConfig config;
+    config.mode = mode;
+    return config;
+}
+
+/** Straight-through reference run. */
+std::string
+straightThrough(const ooo::CoreConfig &config,
+                const std::string &workload, const sim::RunSpec &spec)
+{
+    sim::Simulator s(config, workloads::makeWorkload(workload));
+    return sim::toJson(s.run(spec)).dump();
+}
+
+/** Warm + snapshot in one simulator, restore + measure in a fresh
+ *  one; returns the restored run's JSON. */
+std::string
+viaCheckpoint(const ooo::CoreConfig &config,
+              const std::string &workload, const sim::RunSpec &spec)
+{
+    sim::Simulator warm(config, workloads::makeWorkload(workload));
+    const bool truncated = warm.warmup(spec);
+    SnapWriter w;
+    warm.saveState(w);
+
+    sim::Simulator cold(config, workloads::makeWorkload(workload));
+    SnapReader r(w.bytes());
+    cold.restoreState(r);
+    EXPECT_TRUE(r.done()) << "restore did not consume the payload";
+    return sim::toJson(cold.measure(spec, truncated)).dump();
+}
+
+} // namespace
+
+TEST(Snapshot, RoundTripMatchesStraightThroughAllModes)
+{
+    sim::RunSpec spec;
+    spec.warmupInstrs = 5'000;
+    spec.measureInstrs = 8'000;
+    for (const char *workload : {"astar", "lbm", "parest"}) {
+        for (auto mode :
+             {ooo::CoreMode::Baseline, ooo::CoreMode::Cdf,
+              ooo::CoreMode::Pre}) {
+            const ooo::CoreConfig config = configFor(mode);
+            EXPECT_EQ(straightThrough(config, workload, spec),
+                      viaCheckpoint(config, workload, spec))
+                << workload << "/" << sim::toString(mode)
+                << " diverged after restore";
+        }
+    }
+}
+
+TEST(Snapshot, RoundTripFuzzSmallConfigs)
+{
+    // Non-default window geometry exercises the partition/cap paths
+    // in the snapshot codecs.
+    sim::RunSpec spec;
+    spec.warmupInstrs = 4'000;
+    spec.measureInstrs = 6'000;
+    for (double factor : {0.5, 1.25}) {
+        for (auto mode :
+             {ooo::CoreMode::Baseline, ooo::CoreMode::Cdf,
+              ooo::CoreMode::Pre}) {
+            ooo::CoreConfig config = configFor(mode);
+            config.scaleWindow(factor);
+            EXPECT_EQ(straightThrough(config, "mcf", spec),
+                      viaCheckpoint(config, "mcf", spec))
+                << "scale " << factor << " mode "
+                << sim::toString(mode);
+        }
+    }
+}
+
+TEST(Snapshot, SaveIsDeterministicAndRestoreResavesIdentically)
+{
+    sim::RunSpec spec;
+    spec.warmupInstrs = 6'000;
+    spec.measureInstrs = 0;
+    const ooo::CoreConfig config = configFor(ooo::CoreMode::Cdf);
+
+    sim::Simulator warm(config, workloads::makeWorkload("astar"));
+    warm.warmup(spec);
+    SnapWriter first;
+    warm.saveState(first);
+    SnapWriter again;
+    warm.saveState(again);
+    // saveState must not mutate: double-save is byte-identical.
+    EXPECT_EQ(first.bytes(), again.bytes());
+
+    sim::Simulator cold(config, workloads::makeWorkload("astar"));
+    SnapReader r(first.bytes());
+    cold.restoreState(r);
+    SnapWriter resaved;
+    cold.saveState(resaved);
+    // restore -> save round-trips the byte stream exactly, so a
+    // checkpoint-of-a-restored-sim equals the original checkpoint
+    // (cross-process determinism relies on this).
+    EXPECT_EQ(first.bytes(), resaved.bytes());
+}
+
+TEST(Snapshot, MidCdfEpisodeRoundTrip)
+{
+    // Snapshot while the core is INSIDE a CDF episode (fetching from
+    // the uop cache, critical partition live), not at a tidy phase
+    // boundary, then check both copies march in lockstep.
+    const ooo::CoreConfig config = configFor(ooo::CoreMode::Cdf);
+    sim::Simulator a(config, workloads::makeWorkload("mcf"));
+
+    bool entered = false;
+    for (int chunk = 0; chunk < 200 && !entered; ++chunk) {
+        a.core().run(a.core().retired() + 2'000, kNeverCycle);
+        entered = a.core().inCdfMode();
+    }
+    ASSERT_TRUE(entered)
+        << "mcf/cdf never entered CDF mode; test needs a workload "
+           "that does";
+
+    SnapWriter w;
+    a.saveState(w);
+    sim::Simulator b(config, workloads::makeWorkload("mcf"));
+    SnapReader r(w.bytes());
+    b.restoreState(r);
+    EXPECT_TRUE(b.core().inCdfMode());
+
+    a.core().run(a.core().retired() + 20'000, kNeverCycle);
+    b.core().run(b.core().retired() + 20'000, kNeverCycle);
+    EXPECT_EQ(a.core().cycle(), b.core().cycle());
+    EXPECT_EQ(a.core().retired(), b.core().retired());
+    EXPECT_EQ(a.stats().dump(), b.stats().dump());
+}
+
+TEST(Snapshot, PayloadIndependentOfHostKnobs)
+{
+    // skipIdleCycles and profileStages are host-only: a snapshot
+    // taken with them on restores into a simulator with them off
+    // (and vice versa) and the two continue identically. This is
+    // what lets a --profile bench reuse an unprofiled checkpoint.
+    sim::RunSpec spec;
+    spec.warmupInstrs = 6'000;
+    spec.measureInstrs = 8'000;
+
+    ooo::CoreConfig skipOn = configFor(ooo::CoreMode::Cdf);
+    skipOn.skipIdleCycles = true;
+    ooo::CoreConfig skipOff = skipOn;
+    skipOff.skipIdleCycles = false;
+    skipOff.profileStages = true;
+
+    // Same warmup key: the host knobs are excluded from it.
+    EXPECT_EQ(sim::warmupKey("lbm", skipOn, spec),
+              sim::warmupKey("lbm", skipOff, spec));
+
+    // Warm with skip ON — mid-run, so the skip machinery is active
+    // (possibly mid-backoff) at the snapshot point.
+    sim::Simulator a(skipOn, workloads::makeWorkload("lbm"));
+    const bool truncated = a.warmup(spec);
+    SnapWriter w;
+    a.saveState(w);
+
+    // Restore into a skip-OFF profiled simulator.
+    sim::Simulator b(skipOff, workloads::makeWorkload("lbm"));
+    SnapReader r(w.bytes());
+    b.restoreState(r);
+
+    const auto ra = a.measure(spec, truncated);
+    const auto rb = b.measure(spec, truncated);
+    EXPECT_EQ(sim::toJson(ra).dump(), sim::toJson(rb).dump());
+}
+
+TEST(Snapshot, HaltedWorkloadShorterThanWarmup)
+{
+    // The program ends before warmupInstrs retire: the checkpoint
+    // must carry the halted core faithfully and the restored run
+    // must report identically (halted, zero-length measurement).
+    auto make = [] {
+        return workloads::makeRandomWorkload(0xD1CE, 4, 40);
+    };
+    sim::RunSpec spec;
+    spec.warmupInstrs = 1'000'000;
+    spec.measureInstrs = 5'000;
+
+    const ooo::CoreConfig config = configFor(ooo::CoreMode::Baseline);
+    sim::Simulator a(config, make());
+    const auto straight = sim::toJson(a.run(spec)).dump();
+
+    sim::Simulator warm(config, make());
+    const bool truncated = warm.warmup(spec);
+    EXPECT_FALSE(truncated); // halted, not truncated
+    EXPECT_TRUE(warm.core().halted());
+    SnapWriter w;
+    warm.saveState(w);
+    sim::Simulator cold(config, make());
+    SnapReader r(w.bytes());
+    cold.restoreState(r);
+    EXPECT_TRUE(cold.core().halted());
+    const auto restored =
+        sim::toJson(cold.measure(spec, truncated)).dump();
+    EXPECT_EQ(straight, restored);
+}
+
+TEST(SnapshotFile, SaveLoadRoundTrip)
+{
+    const std::filesystem::path dir = "snapshot_file_test";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    sim::Checkpoint ckpt;
+    ckpt.warmupTruncated = true;
+    for (int i = 0; i < 1000; ++i)
+        ckpt.payload.push_back(static_cast<std::uint8_t>(i * 37));
+
+    const std::uint64_t key = 0x0123456789ABCDEFull;
+    const std::string path =
+        (dir / sim::checkpointFileName(key)).string();
+    ASSERT_TRUE(sim::saveCheckpointFile(path, key, ckpt));
+
+    auto loaded = sim::loadCheckpointFile(path, key);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->payload, ckpt.payload);
+    EXPECT_TRUE(loaded->warmupTruncated);
+
+    // Wrong key (stale artifact after a config change) is rejected.
+    EXPECT_FALSE(sim::loadCheckpointFile(path, key + 1).has_value());
+    // Missing file.
+    EXPECT_FALSE(
+        sim::loadCheckpointFile((dir / "nope.cdfsnap").string(), key)
+            .has_value());
+
+    // A flipped payload byte fails the checksum.
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        f.seekp(-1, std::ios::end);
+        f.put(static_cast<char>(~ckpt.payload.back()));
+    }
+    EXPECT_FALSE(sim::loadCheckpointFile(path, key).has_value());
+
+    // A truncated file is rejected, not parsed.
+    ASSERT_TRUE(sim::saveCheckpointFile(path, key, ckpt));
+    std::filesystem::resize_file(path, 20);
+    EXPECT_FALSE(sim::loadCheckpointFile(path, key).has_value());
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SnapshotFile, OnDiskBytesAreDeterministic)
+{
+    // Two independent simulators (standing in for two processes)
+    // warming the same cell must spill byte-identical checkpoint
+    // files: no pids, timestamps or pointer values in the payload.
+    const std::filesystem::path dir = "snapshot_determinism_test";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    sim::RunSpec spec;
+    spec.warmupInstrs = 5'000;
+    const ooo::CoreConfig config = configFor(ooo::CoreMode::Cdf);
+    const std::uint64_t key = sim::warmupKey("astar", config, spec);
+
+    auto spill = [&](const char *name) {
+        sim::Simulator s(config, workloads::makeWorkload("astar"));
+        sim::Checkpoint ckpt;
+        ckpt.warmupTruncated = s.warmup(spec);
+        SnapWriter w;
+        s.saveState(w);
+        ckpt.payload = w.take();
+        const std::string path = (dir / name).string();
+        EXPECT_TRUE(sim::saveCheckpointFile(path, key, ckpt));
+        std::ifstream in(path, std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+    };
+    const std::string fileA = spill("a.cdfsnap");
+    const std::string fileB = spill("b.cdfsnap");
+    ASSERT_FALSE(fileA.empty());
+    EXPECT_EQ(fileA, fileB);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SnapshotKey, DistinguishesWarmupRelevantChanges)
+{
+    sim::RunSpec spec;
+    spec.warmupInstrs = 5'000;
+    const ooo::CoreConfig base = configFor(ooo::CoreMode::Cdf);
+
+    const std::uint64_t k = sim::warmupKey("astar", base, spec);
+    EXPECT_EQ(k, sim::warmupKey("astar", base, spec));
+
+    EXPECT_NE(k, sim::warmupKey("lbm", base, spec));
+    EXPECT_NE(k, sim::warmupKey("astar",
+                                configFor(ooo::CoreMode::Baseline),
+                                spec));
+
+    ooo::CoreConfig bigger = base;
+    bigger.robSize += 32;
+    EXPECT_NE(k, sim::warmupKey("astar", bigger, spec));
+
+    sim::RunSpec longer = spec;
+    longer.warmupInstrs += 1;
+    EXPECT_NE(k, sim::warmupKey("astar", base, longer));
+
+    // measureInstrs does NOT affect the warmup state; cells that
+    // differ only there share a checkpoint.
+    sim::RunSpec otherMeasure = spec;
+    otherMeasure.measureInstrs = 123'456;
+    EXPECT_EQ(k, sim::warmupKey("astar", base, otherMeasure));
+}
+
+TEST(SweepMemoization, SharedWarmupsAreBitIdenticalAndCounted)
+{
+    // Four cells, two warmup groups: (astar/cdf) twice with
+    // different measure windows, (lbm/baseline) twice. Leaders warm
+    // (miss), peers restore (hit) — and every outcome must equal an
+    // independent unmemoized run.
+    auto cell = [](const char *wl, ooo::CoreMode mode,
+                   std::uint64_t measure) {
+        sim::SweepCell c;
+        c.workload = wl;
+        c.mode = mode;
+        c.spec.warmupInstrs = 5'000;
+        c.spec.measureInstrs = measure;
+        return c;
+    };
+    const std::vector<sim::SweepCell> cells = {
+        cell("astar", ooo::CoreMode::Cdf, 8'000),
+        cell("lbm", ooo::CoreMode::Baseline, 8'000),
+        cell("astar", ooo::CoreMode::Cdf, 4'000),
+        cell("lbm", ooo::CoreMode::Baseline, 4'000),
+    };
+
+    sim::SweepRunner serial(1);
+    const auto outcomes = serial.runAll(cells);
+    EXPECT_EQ(serial.ckptStats().misses, 2u);
+    EXPECT_EQ(serial.ckptStats().hits, 2u);
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        ooo::CoreConfig config = cells[i].config;
+        config.mode = cells[i].mode;
+        sim::Simulator independent(
+            config, workloads::makeWorkload(cells[i].workload));
+        auto expect = independent.run(cells[i].spec);
+        expect.workload = cells[i].workload;
+        EXPECT_EQ(sim::toJson(expect).dump(),
+                  sim::toJson(outcomes[i].run).dump())
+            << "memoized cell " << i << " diverged";
+    }
+
+    // Same matrix under contention: followers block on the leader's
+    // condition variable instead of finding a ready checkpoint.
+    sim::SweepRunner parallel(4);
+    const auto par = parallel.runAll(cells);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        EXPECT_EQ(sim::toJson(outcomes[i]).dump(),
+                  sim::toJson(par[i]).dump());
+    }
+    EXPECT_EQ(parallel.ckptStats().hits +
+                  parallel.ckptStats().misses,
+              cells.size());
+}
+
+TEST(SweepMemoization, CheckpointDirSharesAcrossRunners)
+{
+    const std::filesystem::path dir = "sweep_ckpt_dir_test";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    auto cell = [](const char *wl, ooo::CoreMode mode) {
+        sim::SweepCell c;
+        c.workload = wl;
+        c.mode = mode;
+        c.spec.warmupInstrs = 5'000;
+        c.spec.measureInstrs = 6'000;
+        return c;
+    };
+    const std::vector<sim::SweepCell> cells = {
+        cell("astar", ooo::CoreMode::Cdf),
+        cell("parest", ooo::CoreMode::Pre),
+    };
+
+    // Cold: every group warms and spills to disk.
+    sim::SweepRunner cold(1);
+    cold.setCheckpointDir(dir.string());
+    const auto first = cold.runAll(cells);
+    EXPECT_EQ(cold.ckptStats().misses, cells.size());
+    EXPECT_EQ(cold.ckptStats().hits, 0u);
+    std::size_t files = 0;
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+        files += e.is_regular_file() ? 1 : 0;
+    EXPECT_EQ(files, cells.size());
+
+    // Warm: a fresh runner (standing in for the next bench process)
+    // restores every cell from disk and produces identical results.
+    sim::SweepRunner warmRunner(1);
+    warmRunner.setCheckpointDir(dir.string());
+    const auto second = warmRunner.runAll(cells);
+    EXPECT_EQ(warmRunner.ckptStats().hits, cells.size());
+    EXPECT_EQ(warmRunner.ckptStats().misses, 0u);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        EXPECT_EQ(sim::toJson(first[i]).dump(),
+                  sim::toJson(second[i]).dump());
+    }
+
+    std::filesystem::remove_all(dir);
+}

@@ -32,6 +32,13 @@
  *    claims by maintaining invariants; a mutator with no check is a
  *    convention violation.
  *
+ *  - snapshot-fields: a class declaring a save*() member whose
+ *    SIM_SNAPSHOT_FIELDS(N) annotation is missing or disagrees with
+ *    the number of data members declared in its body. The count is
+ *    the tripwire that forces every new member through a
+ *    save/restore review; a stale count means a member was added
+ *    without one.
+ *
  * Vetted exceptions live in an allowlist file (one per line:
  * "<rule> <path-suffix>", '#' comments). It is empty by default and
  * should stay that way; new entries need review.
@@ -489,6 +496,202 @@ lintMutatorAsserts(const std::string &path, const std::string &code,
 }
 
 // ---------------------------------------------------------------------
+// Rule: snapshot-fields
+// ---------------------------------------------------------------------
+
+/**
+ * A class or struct that declares a save*() member participates in
+ * the snapshot system, so it must carry a SIM_SNAPSHOT_FIELDS(N)
+ * annotation with N equal to the number of data members declared
+ * directly in its body — host-only members included, because the
+ * annotation exists to force every new member through a save/restore
+ * review (serialize it, or document why not). Nested types, static
+ * members, using/typedef aliases and friends do not count.
+ */
+void
+lintSnapshotFields(const std::string &path, const std::string &code,
+                   std::vector<Finding> &findings)
+{
+    for (const char *kw : {"class", "struct"}) {
+        std::size_t pos = 0;
+        while ((pos = findWord(code, kw, pos)) !=
+               std::string::npos) {
+            const std::size_t kwAt = pos;
+            pos += 1;
+            // "enum class" / "enum struct" declare enumerations.
+            std::size_t back = kwAt;
+            while (back > 0 &&
+                   std::isspace(static_cast<unsigned char>(
+                       code[back - 1])))
+                --back;
+            if (back >= 4 &&
+                code.compare(back - 4, 4, "enum") == 0 &&
+                (back == 4 || !isWordChar(code[back - 5])))
+                continue;
+            std::size_t i = skipWs(code, kwAt + std::strlen(kw));
+            const std::size_t nameStart = i;
+            while (i < code.size() && isWordChar(code[i]))
+                ++i;
+            const std::string name =
+                code.substr(nameStart, i - nameStart);
+            // Find the body's '{', skipping a base clause; bail on
+            // forward declarations and template parameters.
+            i = skipWs(code, i);
+            if (i < code.size() && code[i] == ':') {
+                while (i < code.size() && code[i] != '{' &&
+                       code[i] != ';')
+                    ++i;
+            }
+            if (i >= code.size() || code[i] != '{')
+                continue;
+
+            // Walk the body one direct declaration at a time.
+            // Parenthesized and braced sub-scopes (parameter lists,
+            // function bodies, nested type bodies, brace
+            // initializers) are absorbed whole, so ';' and ':' only
+            // act at the class's own depth.
+            std::string decl;
+            bool funcMarker = false; //!< decl is a function
+            bool sawInit = false;    //!< '=' seen before any '('
+            std::string funcName;
+            bool hasSave = false;
+            unsigned fields = 0;
+            long annot = -1;
+            std::size_t annotAt = kwAt;
+
+            auto resetDecl = [&] {
+                decl.clear();
+                funcMarker = false;
+                sawInit = false;
+                funcName.clear();
+            };
+            auto lastWord = [&]() {
+                std::size_t e = decl.size();
+                while (e > 0 &&
+                       std::isspace(static_cast<unsigned char>(
+                           decl[e - 1])))
+                    --e;
+                std::size_t s = e;
+                while (s > 0 && isWordChar(decl[s - 1]))
+                    --s;
+                return decl.substr(s, e - s);
+            };
+            auto trimmedDecl = [&]() {
+                std::size_t s = 0;
+                while (s < decl.size() &&
+                       std::isspace(static_cast<unsigned char>(
+                           decl[s])))
+                    ++s;
+                return decl.substr(s);
+            };
+            auto classify = [&](std::size_t at) {
+                const std::string d = trimmedDecl();
+                if (d.empty()) {
+                    resetDecl();
+                    return;
+                }
+                std::istringstream ds(d);
+                std::string w1, w2;
+                ds >> w1 >> w2;
+                if (w1.rfind("SIM_SNAPSHOT_FIELDS", 0) == 0) {
+                    const std::size_t p = d.find('(');
+                    if (p != std::string::npos)
+                        annot = std::atol(d.c_str() + p + 1);
+                    annotAt = at;
+                } else if (funcMarker) {
+                    if (funcName.rfind("save", 0) == 0)
+                        hasSave = true;
+                } else if (!w2.empty() && w1 != "using" &&
+                           w1 != "typedef" && w1 != "friend" &&
+                           w1 != "static" && w1 != "struct" &&
+                           w1 != "class" && w1 != "enum" &&
+                           w1 != "template") {
+                    ++fields;
+                }
+                resetDecl();
+            };
+            auto absorb = [&](std::size_t &j, char open, char close) {
+                const std::size_t from = j;
+                int depth = 0;
+                for (; j < code.size(); ++j) {
+                    if (code[j] == open)
+                        ++depth;
+                    else if (code[j] == close && --depth == 0)
+                        break;
+                }
+                decl += code.substr(from,
+                                    j < code.size() ? j - from + 1
+                                                    : j - from);
+            };
+
+            std::size_t j = i + 1;
+            for (; j < code.size(); ++j) {
+                const char c = code[j];
+                if (c == '(') {
+                    if (!sawInit && !funcMarker) {
+                        funcMarker = true;
+                        funcName = lastWord();
+                    }
+                    absorb(j, '(', ')');
+                } else if (c == '{') {
+                    if (funcMarker) {
+                        absorb(j, '{', '}');
+                        classify(j);
+                    } else {
+                        absorb(j, '{', '}');
+                    }
+                } else if (c == '}') {
+                    break; // end of this class body
+                } else if (c == ';') {
+                    classify(j);
+                } else if (c == ':') {
+                    const std::string d = trimmedDecl();
+                    if (d == "public" || d == "private" ||
+                        d == "protected")
+                        resetDecl();
+                    else
+                        decl += c;
+                } else {
+                    if (c == '=' && !funcMarker) {
+                        // "operator=" is a function, not a default
+                        // member initializer.
+                        if (lastWord() == "operator") {
+                            funcMarker = true;
+                            funcName = "operator=";
+                        } else {
+                            sawInit = true;
+                        }
+                    }
+                    decl += c;
+                }
+            }
+
+            if (!hasSave)
+                continue;
+            if (annot < 0) {
+                findings.push_back(
+                    {path, lineOfOffset(code, kwAt),
+                     "snapshot-fields",
+                     "'" + name +
+                         "' declares a save*() member but no "
+                         "SIM_SNAPSHOT_FIELDS annotation (it has " +
+                         std::to_string(fields) +
+                         " data member(s))"});
+            } else if (annot != static_cast<long>(fields)) {
+                findings.push_back(
+                    {path, lineOfOffset(code, annotAt),
+                     "snapshot-fields",
+                     "'" + name + "' annotates SIM_SNAPSHOT_FIELDS(" +
+                         std::to_string(annot) + ") but declares " +
+                         std::to_string(fields) +
+                         " data member(s); re-review the save/"
+                         "restore codecs and update the count"});
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 
 std::vector<AllowEntry>
 loadAllowlist(const std::string &path)
@@ -546,6 +749,7 @@ lintFile(const fs::path &path, std::vector<Finding> &findings)
     lintUnorderedIteration(p, code, findings);
     lintConfigStructs(p, code, findings);
     lintMutatorAsserts(p, code, findings);
+    lintSnapshotFields(p, code, findings);
 }
 
 } // namespace
