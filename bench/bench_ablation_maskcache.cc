@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "sim/sweep_spec.hh"
 
 using namespace cdfsim;
 
@@ -17,21 +18,20 @@ int
 main(int argc, char **argv)
 {
     bench::Harness h("bench_ablation_maskcache", argc, argv);
-    auto defaults = bench::figureRunSpec();
-    defaults.measureInstrs = 120'000;
-    const auto spec = h.spec(defaults);
     const auto subset = h.workloads(
         {"astar", "soplex", "sphinx3", "bzip2"});
 
-    const ooo::CoreConfig base;
-    ooo::CoreConfig off = base;
-    off.cdf.fillBuffer.useMaskCache = false;
-
-    for (const auto &wl : subset) {
-        h.add(wl, "base", ooo::CoreMode::Baseline, base, spec);
-        h.add(wl, "mask_on", ooo::CoreMode::Cdf, base, spec);
-        h.add(wl, "mask_off", ooo::CoreMode::Cdf, off, spec);
-    }
+    // Mirrors bench/specs/ablation_maskcache.json.
+    sim::SweepSpec sweep("bench_ablation_maskcache");
+    auto defaults = bench::figureRunSpec();
+    defaults.measureInstrs = 120'000;
+    sweep.defaults() = h.spec(defaults);
+    auto &g = sweep.group(subset);
+    g.variant("base", ooo::CoreMode::Baseline);
+    g.variant("mask_on", ooo::CoreMode::Cdf);
+    g.variant("mask_off", ooo::CoreMode::Cdf)
+        .set("cdf.fill_buffer.use_mask_cache", false);
+    h.addCells(sweep.expand(ooo::CoreConfig{}));
     h.run();
 
     bench::printHeader(

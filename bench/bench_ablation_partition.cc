@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "sim/sweep_spec.hh"
 
 using namespace cdfsim;
 
@@ -18,26 +19,25 @@ int
 main(int argc, char **argv)
 {
     bench::Harness h("bench_ablation_partition", argc, argv);
-    auto defaults = bench::figureRunSpec();
-    defaults.measureInstrs = 120'000;
-    const auto spec = h.spec(defaults);
     const auto subset = h.workloads(
         {"astar", "soplex", "lbm", "nab", "gems"});
 
-    const ooo::CoreConfig base;
     const std::vector<std::pair<std::string, double>> statics = {
         {"static50", 0.50}, {"static75", 0.75}, {"static90", 0.90}};
 
-    for (const auto &wl : subset) {
-        h.add(wl, "base", ooo::CoreMode::Baseline, base, spec);
-        h.add(wl, "dynamic", ooo::CoreMode::Cdf, base, spec);
-        for (const auto &[label, frac] : statics) {
-            ooo::CoreConfig st = base;
-            st.cdf.partition.dynamic = false;
-            st.cdf.partition.initialCriticalFrac = frac;
-            h.add(wl, label, ooo::CoreMode::Cdf, st, spec);
-        }
-    }
+    // Mirrors bench/specs/ablation_partition.json.
+    sim::SweepSpec sweep("bench_ablation_partition");
+    auto defaults = bench::figureRunSpec();
+    defaults.measureInstrs = 120'000;
+    sweep.defaults() = h.spec(defaults);
+    auto &g = sweep.group(subset);
+    g.variant("base", ooo::CoreMode::Baseline);
+    g.variant("dynamic", ooo::CoreMode::Cdf);
+    for (const auto &[label, frac] : statics)
+        g.variant(label, ooo::CoreMode::Cdf)
+            .set("cdf.partition.dynamic", false)
+            .set("cdf.partition.initial_critical_frac", frac);
+    h.addCells(sweep.expand(ooo::CoreConfig{}));
     h.run();
 
     bench::printHeader(

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "sim/sweep_spec.hh"
 
 using namespace cdfsim;
 
@@ -18,37 +19,38 @@ int
 main(int argc, char **argv)
 {
     bench::Harness h("bench_ablation_thresholds", argc, argv);
-    auto defaults = bench::figureRunSpec();
-    defaults.measureInstrs = 120'000;
-    const auto spec = h.spec(defaults);
     const auto subset = h.workloads(
         {"astar", "soplex", "lbm", "bzip2", "sphinx3"});
 
     const ooo::CoreConfig base; // default: dynamic dual thresholds
 
+    // Mirrors bench/specs/ablation_thresholds.json (which hardcodes
+    // the permissive literals; the spec-identity ctest catches drift
+    // if the table defaults ever change).
+    sim::SweepSpec sweep("bench_ablation_thresholds");
+    auto defaults = bench::figureRunSpec();
+    defaults.measureInstrs = 120'000;
+    sweep.defaults() = h.spec(defaults);
+    auto &g = sweep.group(subset);
+    g.variant("base", ooo::CoreMode::Baseline);
+    g.variant("dual", ooo::CoreMode::Cdf);
     // Strict-only: disable the density-driven switch by setting
     // both switch points below any real density.
-    ooo::CoreConfig strict = base;
-    strict.cdf.densitySwitchLow = -1.0;
-    strict.cdf.densitySwitchHigh = -0.5;
-
+    g.variant("strict", ooo::CoreMode::Cdf)
+        .set("cdf.density_switch_low", -1.0)
+        .set("cdf.density_switch_high", -0.5);
     // Permissive-only: make the strict counter behave like the
     // permissive one.
-    ooo::CoreConfig perm = base;
-    perm.cdf.loadTable.strictBits = perm.cdf.loadTable.permissiveBits;
-    perm.cdf.loadTable.strictThreshold =
-        perm.cdf.loadTable.permissiveThreshold;
-    perm.cdf.branchTable.strictBits =
-        perm.cdf.branchTable.permissiveBits;
-    perm.cdf.branchTable.strictThreshold =
-        perm.cdf.branchTable.permissiveThreshold;
-
-    for (const auto &wl : subset) {
-        h.add(wl, "base", ooo::CoreMode::Baseline, base, spec);
-        h.add(wl, "dual", ooo::CoreMode::Cdf, base, spec);
-        h.add(wl, "strict", ooo::CoreMode::Cdf, strict, spec);
-        h.add(wl, "permissive", ooo::CoreMode::Cdf, perm, spec);
-    }
+    g.variant("permissive", ooo::CoreMode::Cdf)
+        .set("cdf.load_table.strict_bits",
+             base.cdf.loadTable.permissiveBits)
+        .set("cdf.load_table.strict_threshold",
+             base.cdf.loadTable.permissiveThreshold)
+        .set("cdf.branch_table.strict_bits",
+             base.cdf.branchTable.permissiveBits)
+        .set("cdf.branch_table.strict_threshold",
+             base.cdf.branchTable.permissiveThreshold);
+    h.addCells(sweep.expand(base));
     h.run();
 
     bench::printHeader("Ablation: Critical Count Table thresholds",

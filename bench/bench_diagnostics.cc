@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "sim/sweep_spec.hh"
 
 using namespace cdfsim;
 
@@ -17,17 +18,18 @@ int
 main(int argc, char **argv)
 {
     bench::Harness h("bench_diagnostics", argc, argv);
-    auto defaults = bench::figureRunSpec();
-    defaults.measureInstrs = 120'000;
-    const auto spec = h.spec(defaults);
     const auto names = h.workloads(workloads::allWorkloadNames());
 
-    const ooo::CoreConfig base;
-    for (const auto &name : names) {
-        h.add(name, "base", ooo::CoreMode::Baseline, base, spec);
-        h.add(name, "cdf", ooo::CoreMode::Cdf, base, spec);
-        h.add(name, "pre", ooo::CoreMode::Pre, base, spec);
-    }
+    // Mirrors bench/specs/diagnostics.json.
+    sim::SweepSpec sweep("bench_diagnostics");
+    auto defaults = bench::figureRunSpec();
+    defaults.measureInstrs = 120'000;
+    sweep.defaults() = h.spec(defaults);
+    auto &g = sweep.group(names);
+    g.variant("base", ooo::CoreMode::Baseline);
+    g.variant("cdf", ooo::CoreMode::Cdf);
+    g.variant("pre", ooo::CoreMode::Pre);
+    h.addCells(sweep.expand(ooo::CoreConfig{}));
     h.run();
 
     for (const auto &name : names) {

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "sim/sweep_spec.hh"
 
 using namespace cdfsim;
 
@@ -17,15 +18,15 @@ int
 main(int argc, char **argv)
 {
     bench::Harness h("bench_fig01_rob_occupancy", argc, argv);
-    const auto spec = h.spec(bench::figureRunSpec());
     const auto names = h.workloads(workloads::allWorkloadNames());
 
-    const ooo::CoreConfig base;
-    for (const auto &name : names) {
-        ooo::CoreConfig cfg = base;
-        cfg.observeCriticality = true;
-        h.add(name, "observe", ooo::CoreMode::Baseline, cfg, spec);
-    }
+    // Mirrors bench/specs/fig01_rob_occupancy.json.
+    sim::SweepSpec sweep("bench_fig01_rob_occupancy");
+    sweep.defaults() = h.spec(bench::figureRunSpec());
+    auto &g = sweep.group(names);
+    g.variant("observe", ooo::CoreMode::Baseline)
+        .set("observe_criticality", true);
+    h.addCells(sweep.expand(ooo::CoreConfig{}));
     h.run();
 
     bench::printHeader("Fig. 1: ROB contents during full-window stalls",

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "sim/sweep_spec.hh"
 
 using namespace cdfsim;
 
@@ -17,20 +18,19 @@ int
 main(int argc, char **argv)
 {
     bench::Harness h("bench_fig13_speedup", argc, argv);
-    const auto spec = h.spec(bench::figureRunSpec());
     const auto names = h.workloads(workloads::allWorkloadNames());
 
-    // One shared base configuration; every variant copies it so a
-    // future base override flows into the ablations too.
-    const ooo::CoreConfig base;
-    for (const auto &name : names) {
-        h.add(name, "base", ooo::CoreMode::Baseline, base, spec);
-        h.add(name, "cdf", ooo::CoreMode::Cdf, base, spec);
-        h.add(name, "pre", ooo::CoreMode::Pre, base, spec);
-        ooo::CoreConfig noBr = base;
-        noBr.cdf.markCriticalBranches = false;
-        h.add(name, "cdf_nobr", ooo::CoreMode::Cdf, noBr, spec);
-    }
+    // Mirrors bench/specs/fig13_speedup.json; the spec-identity ctest
+    // keeps the two in sync.
+    sim::SweepSpec sweep("bench_fig13_speedup");
+    sweep.defaults() = h.spec(bench::figureRunSpec());
+    auto &g = sweep.group(names);
+    g.variant("base", ooo::CoreMode::Baseline);
+    g.variant("cdf", ooo::CoreMode::Cdf);
+    g.variant("pre", ooo::CoreMode::Pre);
+    g.variant("cdf_nobr", ooo::CoreMode::Cdf)
+        .set("cdf.mark_critical_branches", false);
+    h.addCells(sweep.expand(ooo::CoreConfig{}));
     h.run();
 
     bench::printHeader(

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "sim/sweep_spec.hh"
 
 using namespace cdfsim;
 
@@ -19,15 +20,16 @@ int
 main(int argc, char **argv)
 {
     bench::Harness h("bench_fig14_mlp", argc, argv);
-    const auto spec = h.spec(bench::figureRunSpec());
     const auto names = h.workloads(workloads::allWorkloadNames());
 
-    const ooo::CoreConfig base;
-    for (const auto &name : names) {
-        h.add(name, "base", ooo::CoreMode::Baseline, base, spec);
-        h.add(name, "cdf", ooo::CoreMode::Cdf, base, spec);
-        h.add(name, "pre", ooo::CoreMode::Pre, base, spec);
-    }
+    // Mirrors bench/specs/fig14_mlp.json.
+    sim::SweepSpec sweep("bench_fig14_mlp");
+    sweep.defaults() = h.spec(bench::figureRunSpec());
+    auto &g = sweep.group(names);
+    g.variant("base", ooo::CoreMode::Baseline);
+    g.variant("cdf", ooo::CoreMode::Cdf);
+    g.variant("pre", ooo::CoreMode::Pre);
+    h.addCells(sweep.expand(ooo::CoreConfig{}));
     h.run();
 
     bench::printHeader(

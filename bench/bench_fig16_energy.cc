@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "sim/sweep_spec.hh"
 
 using namespace cdfsim;
 
@@ -18,15 +19,16 @@ int
 main(int argc, char **argv)
 {
     bench::Harness h("bench_fig16_energy", argc, argv);
-    const auto spec = h.spec(bench::figureRunSpec());
     const auto names = h.workloads(workloads::allWorkloadNames());
 
-    const ooo::CoreConfig base;
-    for (const auto &name : names) {
-        h.add(name, "base", ooo::CoreMode::Baseline, base, spec);
-        h.add(name, "cdf", ooo::CoreMode::Cdf, base, spec);
-        h.add(name, "pre", ooo::CoreMode::Pre, base, spec);
-    }
+    // Mirrors bench/specs/fig16_energy.json.
+    sim::SweepSpec sweep("bench_fig16_energy");
+    sweep.defaults() = h.spec(bench::figureRunSpec());
+    auto &g = sweep.group(names);
+    g.variant("base", ooo::CoreMode::Baseline);
+    g.variant("cdf", ooo::CoreMode::Cdf);
+    g.variant("pre", ooo::CoreMode::Pre);
+    h.addCells(sweep.expand(ooo::CoreConfig{}));
     h.run();
 
     bench::printHeader(

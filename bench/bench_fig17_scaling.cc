@@ -12,6 +12,7 @@
 
 #include "bench_util.hh"
 #include "energy/energy_model.hh"
+#include "sim/sweep_spec.hh"
 
 using namespace cdfsim;
 
@@ -19,9 +20,6 @@ int
 main(int argc, char **argv)
 {
     bench::Harness h("bench_fig17_scaling", argc, argv);
-    auto defaults = bench::figureRunSpec();
-    defaults.measureInstrs = 120'000;
-    const auto spec = h.spec(defaults);
 
     // Memory-sensitive subset: scaling studies on the benchmarks the
     // paper calls out (roms/fotonik benefit from larger windows).
@@ -36,18 +34,25 @@ main(int argc, char **argv)
         return std::string(buf);
     };
 
+    // Builder-only sweep (no checked-in spec): the base_big factor
+    // below is computed from the energy model at runtime, which a
+    // static JSON file cannot express.
+    sim::SweepSpec sweep("bench_fig17_scaling");
+    auto defaults = bench::figureRunSpec();
+    defaults.measureInstrs = 120'000;
+    sweep.defaults() = h.spec(defaults);
+
+    auto &scaled = sweep.group(subset);
+    auto &axis = scaled.axis("scale");
     std::vector<unsigned> robSizes;
     for (double f : factors) {
+        axis.value(factorTag(f)).set("scale_window", f);
         ooo::CoreConfig cfg = base;
         cfg.scaleWindow(f);
         robSizes.push_back(cfg.robSize);
-        for (const auto &name : subset) {
-            h.add(name, "base@" + factorTag(f),
-                  ooo::CoreMode::Baseline, cfg, spec);
-            h.add(name, "cdf@" + factorTag(f), ooo::CoreMode::Cdf,
-                  cfg, spec);
-        }
     }
+    scaled.variant("base", ooo::CoreMode::Baseline);
+    scaled.variant("cdf", ooo::CoreMode::Cdf);
 
     // Area-equivalent baseline: scale the window so the added area
     // matches CDF's structure overhead.
@@ -55,9 +60,11 @@ main(int argc, char **argv)
                                energy::Model::coreArea(base);
     ooo::CoreConfig big = base;
     big.scaleWindow(1.0 + cdfAreaFrac * 4.0); // window ~= area knob
-    for (const auto &name : subset)
-        h.add(name, "base_big", ooo::CoreMode::Baseline, big, spec);
+    sweep.group(subset)
+        .variant("base_big", ooo::CoreMode::Baseline)
+        .set("scale_window", 1.0 + cdfAreaFrac * 4.0);
 
+    h.addCells(sweep.expand(base));
     h.run();
 
     std::printf("\n== Fig. 17: IPC and energy vs window size ==\n");

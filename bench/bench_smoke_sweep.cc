@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "sim/sweep_spec.hh"
 
 using namespace cdfsim;
 
@@ -25,42 +26,52 @@ main(int argc, char **argv)
     tiny.warmupInstrs = 2'000;
     tiny.measureInstrs = 3'000;
     tiny.maxCycles = 5'000'000; // per phase; far beyond any sane run
-    const auto spec = h.spec(tiny);
     const auto names = h.workloads(workloads::allWorkloadNames());
 
+    // Mirrors bench/specs/smoke.json.
     const ooo::CoreConfig base;
-    for (const auto &name : names) {
-        h.add(name, "base", ooo::CoreMode::Baseline, base, spec);
-        h.add(name, "cdf", ooo::CoreMode::Cdf, base, spec);
-        h.add(name, "pre", ooo::CoreMode::Pre, base, spec);
-    }
+    sim::SweepSpec sweep("bench_smoke_sweep");
+    sweep.defaults() = h.spec(tiny);
+
+    auto &g1 = sweep.group(names);
+    g1.variant("base", ooo::CoreMode::Baseline);
+    g1.variant("cdf", ooo::CoreMode::Cdf);
+    g1.variant("pre", ooo::CoreMode::Pre);
 
     // Config-override cells on a small workload subset: exercise the
-    // ablation/scaling configurations the figure benches rely on
-    // without tripling the sweep.
-    ooo::CoreConfig staticPart = base;
-    staticPart.cdf.partition.dynamic = false;
-    ooo::CoreConfig noMaskCache = base;
-    noMaskCache.cdf.fillBuffer.useMaskCache = false;
-    ooo::CoreConfig halfWindow = base;
-    halfWindow.scaleWindow(0.5);
-    ooo::CoreConfig bigWindow = base;
-    bigWindow.scaleWindow(1.5);
-    for (const std::string name : {"astar", "mcf", "lbm"}) {
-        if (std::find(names.begin(), names.end(), name) ==
+    // ablation/scaling/threshold configurations the figure benches
+    // rely on without tripling the sweep.
+    std::vector<std::string> subset;
+    for (const std::string name : {"astar", "mcf", "lbm"})
+        if (std::find(names.begin(), names.end(), name) !=
             names.end())
-            continue; // dropped by --workloads
-        h.add(name, "cdf_static_part", ooo::CoreMode::Cdf,
-              staticPart, spec);
-        h.add(name, "cdf_no_maskcache", ooo::CoreMode::Cdf,
-              noMaskCache, spec);
-        h.add(name, "base_halfwin", ooo::CoreMode::Baseline,
-              halfWindow, spec);
-        h.add(name, "cdf_halfwin", ooo::CoreMode::Cdf, halfWindow,
-              spec);
-        h.add(name, "cdf_bigwin", ooo::CoreMode::Cdf, bigWindow,
-              spec);
+            subset.push_back(name); // else dropped by --workloads
+    if (!subset.empty()) {
+        auto &g2 = sweep.group(subset);
+        g2.variant("cdf_static_part", ooo::CoreMode::Cdf)
+            .set("cdf.partition.dynamic", false);
+        g2.variant("cdf_no_maskcache", ooo::CoreMode::Cdf)
+            .set("cdf.fill_buffer.use_mask_cache", false);
+        g2.variant("base_halfwin", ooo::CoreMode::Baseline)
+            .set("scale_window", 0.5);
+        g2.variant("cdf_halfwin", ooo::CoreMode::Cdf)
+            .set("scale_window", 0.5);
+        g2.variant("cdf_bigwin", ooo::CoreMode::Cdf)
+            .set("scale_window", 1.5);
+        g2.variant("cdf_strict", ooo::CoreMode::Cdf)
+            .set("cdf.density_switch_low", -1.0)
+            .set("cdf.density_switch_high", -0.5);
+        g2.variant("cdf_permissive", ooo::CoreMode::Cdf)
+            .set("cdf.load_table.strict_bits",
+                 base.cdf.loadTable.permissiveBits)
+            .set("cdf.load_table.strict_threshold",
+                 base.cdf.loadTable.permissiveThreshold)
+            .set("cdf.branch_table.strict_bits",
+                 base.cdf.branchTable.permissiveBits)
+            .set("cdf.branch_table.strict_threshold",
+                 base.cdf.branchTable.permissiveThreshold);
     }
+    h.addCells(sweep.expand(base));
     h.run();
 
     std::size_t bad = 0;

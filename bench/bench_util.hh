@@ -41,6 +41,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -198,11 +199,38 @@ class Harness
         cell.variant = variant;
         cell.mode = mode;
         cell.config = config;
-        cell.config.mode = mode;
-        cell.config.profileStages = profile_;
         cell.spec = spec;
-        index_[{workload, variant}] = cells_.size();
+        add(std::move(cell));
+    }
+
+    /** Queue one pre-built cell (e.g. from SweepSpec::expand). */
+    void
+    add(sim::SweepCell cell)
+    {
+        cell.config.mode = cell.mode;
+        cell.config.profileStages = profile_;
+        index_[{cell.workload, cell.variant}] = cells_.size();
         cells_.push_back(std::move(cell));
+    }
+
+    /** Queue a whole expanded matrix, preserving its order. The CLI
+     *  window overrides (--measure-instrs & co) are applied to every
+     *  cell, so they keep working through spec-driven benches. */
+    void
+    addCells(std::vector<sim::SweepCell> cells)
+    {
+        for (auto &cell : cells) {
+            cell.spec = spec(cell.spec);
+            add(std::move(cell));
+        }
+    }
+
+    /** The raw --workloads filter (empty when the flag was absent),
+     *  for matrix builders with their own subset semantics. */
+    const std::vector<std::string> &
+    workloadFilter() const
+    {
+        return workloadFilter_;
     }
 
     /** Execute this shard's share of the queued cells (the whole
@@ -390,9 +418,15 @@ class Harness
         // (geomeans over every cell) are not computable from one
         // shard, and bench_merge cannot reconstruct them. This also
         // makes a --shard 0/1 run the byte-exact reference for a
-        // merged artifact.
-        if (!shardGiven_ && derived_.size() > 0)
-            doc["derived"] = derived_;
+        // merged artifact. Undefined aggregates (NaN — a geomean
+        // with every row excluded) are dropped rather than
+        // serialized: the JSON writer would emit them as null, which
+        // downstream tools rightly treat as a malformed artifact.
+        if (!shardGiven_ && derived_.size() > 0) {
+            Json pruned = pruneUndefined(derived_, "derived");
+            if (pruned.size() > 0)
+                doc["derived"] = std::move(pruned);
+        }
         // Timing metadata lives in ONE object so results can be
         // compared bit-identically across thread counts by dropping
         // the "timing" member. Shard identity also lives here: it
@@ -451,6 +485,36 @@ class Harness
     static constexpr std::uint64_t kUnset =
         std::numeric_limits<std::uint64_t>::max();
 
+    /**
+     * Copy @p node minus any NaN members (recursively), warning
+     * visibly for each dropped key: a NaN aggregate means every row
+     * was excluded (all halted/zero), and "no value" is honest where
+     * a serialized null would just be garbage for consumers.
+     */
+    static Json
+    pruneUndefined(const Json &node, const std::string &path)
+    {
+        if (node.type() == Json::Type::Object) {
+            Json out = Json::object();
+            for (const auto &kv : node.members()) {
+                Json child =
+                    pruneUndefined(kv.second, path + "." + kv.first);
+                if (!child.isNull())
+                    out[kv.first] = std::move(child);
+            }
+            return out;
+        }
+        if (node.type() == Json::Type::Double &&
+            std::isnan(node.asNumber())) {
+            std::fprintf(stderr,
+                         "warning: %s is undefined (every row "
+                         "excluded); omitting it from the artifact\n",
+                         path.c_str());
+            return Json();
+        }
+        return node;
+    }
+
     Json
     profileJson() const
     {
@@ -491,16 +555,26 @@ class Harness
      * strtoul fallback silently turned "--threads abc" into thread
      * count 0, i.e. hardware concurrency, hiding the typo.
      */
-    std::uint64_t
-    parseNumber(const char *text, const char *flag, bool allowZero)
+    /** Digit-only decimal parse: false on garbage, trailing junk,
+     *  signs, or overflow. The strict backend of every numeric flag. */
+    static bool
+    parseDigits(const char *text, std::uint64_t &out)
     {
         char *end = nullptr;
         errno = 0;
         const unsigned long long v = std::strtoull(text, &end, 10);
-        const bool digits =
-            text[0] >= '0' && text[0] <= '9' && end != text &&
-            *end == '\0';
-        if (!digits || errno == ERANGE || (!allowZero && v == 0)) {
+        if (text[0] < '0' || text[0] > '9' || end == text ||
+            *end != '\0' || errno == ERANGE)
+            return false;
+        out = v;
+        return true;
+    }
+
+    std::uint64_t
+    parseNumber(const char *text, const char *flag, bool allowZero)
+    {
+        std::uint64_t v = 0;
+        if (!parseDigits(text, v) || (!allowZero && v == 0)) {
             std::fprintf(
                 stderr, "%s: %s wants a positive integer, got '%s'\n",
                 name_.c_str(), flag, text);
@@ -570,28 +644,31 @@ class Harness
         }
     }
 
+    /**
+     * Strict "--shard i/N" parse, same contract as parseNumber: both
+     * halves must be plain digit strings (no signs — the old strtoul
+     * path silently wrapped "-1" to a huge index) with N > 0 and
+     * i < N; anything else is a one-line error and exit 2.
+     */
     void
     parseShard(const char *text)
     {
-        char *end = nullptr;
-        const unsigned long idx = std::strtoul(text, &end, 10);
-        if (end == text || *end != '/') {
-            std::fprintf(stderr,
-                         "%s: --shard wants i/N (e.g. 0/3), got "
-                         "'%s'\n",
-                         name_.c_str(), text);
-            usage(2);
+        std::uint64_t idx = 0;
+        std::uint64_t count = 0;
+        const char *slash = std::strchr(text, '/');
+        bool ok = slash != nullptr;
+        if (ok) {
+            const std::string idxPart(text, slash);
+            ok = parseDigits(idxPart.c_str(), idx) &&
+                 parseDigits(slash + 1, count) && count > 0 &&
+                 idx < count && count <= 0xFFFFFFFFull;
         }
-        const char *countText = end + 1;
-        const unsigned long count =
-            std::strtoul(countText, &end, 10);
-        if (end == countText || *end != '\0' || count == 0 ||
-            idx >= count) {
+        if (!ok) {
             std::fprintf(stderr,
-                         "%s: --shard %s is invalid (need "
-                         "0 <= i < N)\n",
+                         "%s: --shard wants i/N with digits only and "
+                         "0 <= i < N, got '%s'\n",
                          name_.c_str(), text);
-            usage(2);
+            std::exit(2);
         }
         shardIndex_ = static_cast<unsigned>(idx);
         shardCount_ = static_cast<unsigned>(count);

@@ -182,6 +182,15 @@ class Core
     void auditRenameMaps() const;
 
     /**
+     * LSQ/ROB age-ordering walk: both ROB sections and both LSQ
+     * queues hold live pool entries in strictly increasing timestamp
+     * order, the LQ holds only loads and the SQ only stores, and
+     * every LSQ entry is also resident in the ROB. Always compiled;
+     * sampled from the retire stage in Audit builds.
+     */
+    void auditLsqRobAge() const;
+
+    /**
      * Serialize the complete architectural + microarchitectural core
      * state (core_snapshot.cc). Host-only measurement state (stage
      * profile, idle-skip bookkeeping) is excluded, so the payload is
@@ -295,7 +304,7 @@ class Core
     DynInst *decInst(std::uint32_t idx);
 
     // ------------------------------------------------------------------
-    SIM_SNAPSHOT_FIELDS(125);
+    SIM_SNAPSHOT_FIELDS(126);
 
     CoreConfig config_;
     StatRegistry &stats_;
@@ -495,6 +504,7 @@ class Core
     Cycle skipRecheckAt_ = 0;
     mutable AuditSampler rsAudit_{4096};
     mutable AuditSampler renameAudit_{8192};
+    mutable AuditSampler lsqRobAudit_{4096};
     RunningMean mlpWhenActive_;
     RunningMean uselessMlpWhenActive_;
     RunningMean fig1CriticalFrac_;

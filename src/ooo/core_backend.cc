@@ -436,6 +436,8 @@ Core::finishInst(DynInst *inst)
 void
 Core::retireStage()
 {
+    SIM_AUDIT_ONLY(if (lsqRobAudit_.due()) auditLsqRobAge();)
+
     for (unsigned n = 0; n < config_.width; ++n) {
         DynInst *h = rob_.head();
         if (!h || h->state != InstState::Completed)
@@ -835,6 +837,56 @@ Core::memoryOrderViolation(DynInst *load)
     fetchDoneHalt_ = false;
     fetchStallUntil_ = now_ + config_.mispredictRedirect;
     lastFetchLine_ = ~Addr{0};
+}
+
+// ---------------------------------------------------------------------
+// Audit walks
+// ---------------------------------------------------------------------
+
+void
+Core::auditLsqRobAge() const
+{
+    rob_.auditAgeOrder();
+    lsq_.auditAgeOrder();
+
+    // Every resident entry must still be live in the slab pool; a
+    // stale pointer here means a double destroy or a missed squash.
+    const auto checkAlive = [this](const DynInst *inst,
+                                   const char *what) {
+        SIM_ASSERT(inflightPool_.alive(inst->poolIdx), what,
+                   " entry ts ", inst->ts,
+                   " is not live in the slab pool");
+    };
+    for (const auto *q :
+         {&rob_.criticalSection(), &rob_.nonCriticalSection()}) {
+        for (const DynInst *inst : *q)
+            checkAlive(inst, "ROB");
+    }
+
+    // Loads and stores leave the LSQ no later than the ROB (retire
+    // pops both, flushes truncate both by timestamp), so every LSQ
+    // entry must also be ROB-resident. Both ROB sections are
+    // timestamp-sorted, so membership is two binary searches.
+    const auto inRob = [this](const DynInst *inst) {
+        for (const auto *q :
+             {&rob_.criticalSection(), &rob_.nonCriticalSection()}) {
+            const auto it = std::lower_bound(
+                q->begin(), q->end(), inst->ts,
+                [](const DynInst *e, SeqNum ts) { return e->ts < ts; });
+            if (it != q->end() && *it == inst)
+                return true;
+        }
+        return false;
+    };
+    const auto checkQueue = [&](const MemQueue &mq, const char *what) {
+        mq.forEach([&](DynInst *inst) {
+            checkAlive(inst, what);
+            SIM_ASSERT(inRob(inst), what, " entry ts ", inst->ts,
+                       " is not resident in the ROB");
+        });
+    };
+    checkQueue(lsq_.lq(), "LQ");
+    checkQueue(lsq_.sq(), "SQ");
 }
 
 } // namespace cdfsim::ooo

@@ -13,6 +13,7 @@
 
 #include <deque>
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 #include "common/serialize.hh"
 #include "ooo/dyn_inst.hh"
@@ -102,6 +103,29 @@ class MemQueue
         nonCrit_.clear();
     }
 
+    /**
+     * Age-order walk (see Rob::auditAgeOrder): both sections must
+     * hold non-null entries in strictly increasing timestamp order
+     * under a cap that fits the capacity. @p name labels the queue
+     * ("LQ"/"SQ") in the panic message. Always compiled; sampled
+     * from the retire stage in Audit builds.
+     */
+    void
+    auditAgeOrder(const char *name) const
+    {
+        SIM_ASSERT(critCap_ <= size_, name,
+                   " critical cap exceeds capacity");
+        for (const auto *q : {&crit_, &nonCrit_}) {
+            const DynInst *prev = nullptr;
+            for (const DynInst *inst : *q) {
+                SIM_ASSERT(inst != nullptr, "null ", name, " entry");
+                SIM_ASSERT(!prev || prev->ts < inst->ts, name,
+                           " section out of age order");
+                prev = inst;
+            }
+        }
+    }
+
     /** Snapshot both sections as pool handles via @p enc
      *  (DynInst* -> u32); forEach() cannot reconstruct the section
      *  split, hence the member codec. */
@@ -132,6 +156,8 @@ class MemQueue
     }
 
   private:
+    friend struct cdfsim::AuditPeer; //!< test-only corruption access
+
     SIM_SNAPSHOT_FIELDS(4);
 
     unsigned size_;
@@ -204,6 +230,26 @@ class Lsq
                 worst = ld;
         });
         return worst;
+    }
+
+    /**
+     * Age-order + kind walk: both queues pass their section walks,
+     * every LQ entry is a load, and every SQ entry is a store.
+     * Always compiled; sampled from the retire stage in Audit
+     * builds (Core::auditLsqRobAge adds the cross-checks against
+     * the ROB and the instruction pool).
+     */
+    void
+    auditAgeOrder() const
+    {
+        lq_.auditAgeOrder("LQ");
+        sq_.auditAgeOrder("SQ");
+        lq_.forEach([](DynInst *inst) {
+            SIM_ASSERT(inst->isLoad(), "non-load in the LQ");
+        });
+        sq_.forEach([](DynInst *inst) {
+            SIM_ASSERT(inst->isStore(), "non-store in the SQ");
+        });
     }
 
     /** Snapshot both queues (delegates the pointer codec). */

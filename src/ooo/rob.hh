@@ -15,6 +15,7 @@
 
 #include <deque>
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 #include "common/serialize.hh"
 #include "ooo/dyn_inst.hh"
@@ -128,6 +129,30 @@ class Rob
         nonCrit_.clear();
     }
 
+    /**
+     * Age-order walk: both sections must hold non-null entries in
+     * strictly increasing timestamp order, under a critical cap that
+     * fits the capacity. insert() asserts each of these pairwise at
+     * insert time; the walk catches later corruption of resident
+     * state. Always compiled (tests call it in any build type);
+     * sampled from the retire stage in Audit builds.
+     */
+    void
+    auditAgeOrder() const
+    {
+        SIM_ASSERT(critCap_ <= size_,
+                   "ROB critical cap exceeds capacity");
+        for (const auto *q : {&crit_, &nonCrit_}) {
+            const DynInst *prev = nullptr;
+            for (const DynInst *inst : *q) {
+                SIM_ASSERT(inst != nullptr, "null ROB entry");
+                SIM_ASSERT(!prev || prev->ts < inst->ts,
+                           "ROB section out of age order");
+                prev = inst;
+            }
+        }
+    }
+
     /** Snapshot both sections as pool handles via @p enc
      *  (DynInst* -> u32); capacity is config-fixed and excluded. */
     template <typename EncFn>
@@ -157,6 +182,8 @@ class Rob
     }
 
   private:
+    friend struct cdfsim::AuditPeer; //!< test-only corruption access
+
     SIM_SNAPSHOT_FIELDS(4);
 
     unsigned size_;

@@ -1,0 +1,685 @@
+#include "sim/sweep_spec.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "workloads/workloads.hh"
+
+namespace cdfsim::sim
+{
+
+namespace
+{
+
+[[noreturn]] void
+specError(const std::string &where, const std::string &what)
+{
+    throw std::runtime_error(where + ": " + what);
+}
+
+// --- Typed JSON accessors that name the offending path ---------------
+
+bool
+needBool(const Json &v, const std::string &where)
+{
+    if (v.type() != Json::Type::Bool)
+        specError(where, "expected a boolean");
+    return v.asBool();
+}
+
+double
+needNumber(const Json &v, const std::string &where)
+{
+    if (v.type() != Json::Type::Int && v.type() != Json::Type::Uint &&
+        v.type() != Json::Type::Double)
+        specError(where, "expected a number");
+    return v.asNumber();
+}
+
+std::uint64_t
+needUint(const Json &v, const std::string &where)
+{
+    if (v.type() == Json::Type::Uint)
+        return v.asUint();
+    if (v.type() == Json::Type::Int && v.asNumber() >= 0)
+        return v.asUint();
+    specError(where, "expected a non-negative integer");
+}
+
+unsigned
+needU32(const Json &v, const std::string &where)
+{
+    const std::uint64_t u = needUint(v, where);
+    if (u > 0xFFFFFFFFull)
+        specError(where, "value does not fit in 32 bits");
+    return static_cast<unsigned>(u);
+}
+
+const std::string &
+needString(const Json &v, const std::string &where)
+{
+    if (v.type() != Json::Type::String)
+        specError(where, "expected a string");
+    return v.asString();
+}
+
+const Json &
+needObject(const Json &v, const std::string &where)
+{
+    if (v.type() != Json::Type::Object)
+        specError(where, "expected an object");
+    return v;
+}
+
+const Json &
+needArray(const Json &v, const std::string &where)
+{
+    if (v.type() != Json::Type::Array)
+        specError(where, "expected an array");
+    return v;
+}
+
+/** Reject members outside @p allowed — typos must not silently
+ *  no-op in a file that claims to describe an experiment. */
+void
+rejectUnknownMembers(const Json &obj, const std::string &where,
+                     std::initializer_list<const char *> allowed)
+{
+    for (const auto &kv : obj.members()) {
+        bool known = false;
+        for (const char *a : allowed)
+            known = known || kv.first == a;
+        if (!known)
+            specError(where + "." + kv.first, "unknown member");
+    }
+}
+
+// --- Sub-struct appliers for the override registry -------------------
+
+bool
+applyTableOverride(cdf::CriticalTableConfig &table,
+                   const std::string &field, const Json &value,
+                   const std::string &where)
+{
+    if (field == "entries")
+        table.entries = needU32(value, where);
+    else if (field == "ways")
+        table.ways = needU32(value, where);
+    else if (field == "strict_bits")
+        table.strictBits = needU32(value, where);
+    else if (field == "strict_threshold")
+        table.strictThreshold = needU32(value, where);
+    else if (field == "permissive_bits")
+        table.permissiveBits = needU32(value, where);
+    else if (field == "permissive_threshold")
+        table.permissiveThreshold = needU32(value, where);
+    else if (field == "miss_inc")
+        table.missInc = needU32(value, where);
+    else if (field == "hit_dec")
+        table.hitDec = needU32(value, where);
+    else
+        return false;
+    return true;
+}
+
+bool
+applyPartitionOverride(cdf::PartitionConfig &part,
+                       const std::string &field, const Json &value,
+                       const std::string &where)
+{
+    if (field == "dynamic")
+        part.dynamic = needBool(value, where);
+    else if (field == "stall_threshold")
+        part.stallThreshold = needU32(value, where);
+    else if (field == "rob_step")
+        part.robStep = needU32(value, where);
+    else if (field == "lsq_step")
+        part.lsqStep = needU32(value, where);
+    else if (field == "min_section")
+        part.minSection = needU32(value, where);
+    else if (field == "min_lsq_section")
+        part.minLsqSection = needU32(value, where);
+    else if (field == "initial_critical_frac")
+        part.initialCriticalFrac = needNumber(value, where);
+    else
+        return false;
+    return true;
+}
+
+bool
+applyFillBufferOverride(cdf::FillBufferConfig &fb,
+                        const std::string &field, const Json &value,
+                        const std::string &where)
+{
+    if (field == "capacity")
+        fb.capacity = needU32(value, where);
+    else if (field == "refill_interval_instrs")
+        fb.refillIntervalInstrs = needUint(value, where);
+    else if (field == "min_density")
+        fb.minDensity = needNumber(value, where);
+    else if (field == "max_density")
+        fb.maxDensity = needNumber(value, where);
+    else if (field == "use_mask_cache")
+        fb.useMaskCache = needBool(value, where);
+    else
+        return false;
+    return true;
+}
+
+/** Strip @p prefix from @p key into @p rest. */
+bool
+splitPrefix(const std::string &key, const char *prefix,
+            std::string &rest)
+{
+    const std::size_t n = std::strlen(prefix);
+    if (key.size() <= n || key.compare(0, n, prefix) != 0 ||
+        key[n] != '.')
+        return false;
+    rest = key.substr(n + 1);
+    return true;
+}
+
+} // namespace
+
+void
+applyConfigOverride(ooo::CoreConfig &config, const std::string &key,
+                    const Json &value, const std::string &where)
+{
+    std::string rest;
+
+    // Core-level knobs.
+    if (key == "scale_window") {
+        config.scaleWindow(needNumber(value, where));
+        return;
+    }
+    if (key == "observe_criticality") {
+        config.observeCriticality = needBool(value, where);
+        return;
+    }
+    if (key == "skip_idle_cycles") {
+        config.skipIdleCycles = needBool(value, where);
+        return;
+    }
+    if (key == "width") {
+        config.width = needU32(value, where);
+        return;
+    }
+    if (key == "issue_width") {
+        config.issueWidth = needU32(value, where);
+        return;
+    }
+    if (key == "rob_size") {
+        config.robSize = needU32(value, where);
+        return;
+    }
+    if (key == "rs_size") {
+        config.rsSize = needU32(value, where);
+        return;
+    }
+    if (key == "lq_size") {
+        config.lqSize = needU32(value, where);
+        return;
+    }
+    if (key == "sq_size") {
+        config.sqSize = needU32(value, where);
+        return;
+    }
+    if (key == "phys_regs") {
+        config.physRegs = needU32(value, where);
+        return;
+    }
+    if (key == "frontend_depth") {
+        config.frontendDepth = needU32(value, where);
+        return;
+    }
+    if (key == "fetch_queue_size") {
+        config.fetchQueueSize = needU32(value, where);
+        return;
+    }
+
+    // CDF knobs.
+    if (key == "cdf.mark_critical_branches") {
+        config.cdf.markCriticalBranches = needBool(value, where);
+        return;
+    }
+    if (key == "cdf.density_switch_low") {
+        config.cdf.densitySwitchLow = needNumber(value, where);
+        return;
+    }
+    if (key == "cdf.density_switch_high") {
+        config.cdf.densitySwitchHigh = needNumber(value, where);
+        return;
+    }
+    if (key == "cdf.reentry_cooldown") {
+        config.cdf.reentryCooldown = needU32(value, where);
+        return;
+    }
+    if (key == "cdf.dbq_entries") {
+        config.cdf.dbqEntries = needU32(value, where);
+        return;
+    }
+    if (key == "cdf.cmq_entries") {
+        config.cdf.cmqEntries = needU32(value, where);
+        return;
+    }
+    if (splitPrefix(key, "cdf.load_table", rest)) {
+        if (applyTableOverride(config.cdf.loadTable, rest, value,
+                               where))
+            return;
+    } else if (splitPrefix(key, "cdf.branch_table", rest)) {
+        if (applyTableOverride(config.cdf.branchTable, rest, value,
+                               where))
+            return;
+    } else if (splitPrefix(key, "pre.stall_table", rest)) {
+        if (applyTableOverride(config.pre.stallTable, rest, value,
+                               where))
+            return;
+    } else if (splitPrefix(key, "cdf.partition", rest)) {
+        if (applyPartitionOverride(config.cdf.partition, rest, value,
+                                   where))
+            return;
+    } else if (splitPrefix(key, "cdf.fill_buffer", rest)) {
+        if (applyFillBufferOverride(config.cdf.fillBuffer, rest,
+                                    value, where))
+            return;
+    } else if (splitPrefix(key, "pre.fill_buffer", rest)) {
+        if (applyFillBufferOverride(config.pre.fillBuffer, rest,
+                                    value, where))
+            return;
+    }
+
+    specError(where, "unknown config override key '" + key + "'");
+}
+
+ooo::CoreMode
+parseCoreMode(const std::string &text, const std::string &where)
+{
+    if (text == "baseline")
+        return ooo::CoreMode::Baseline;
+    if (text == "cdf")
+        return ooo::CoreMode::Cdf;
+    if (text == "pre")
+        return ooo::CoreMode::Pre;
+    specError(where, "unknown mode '" + text +
+                         "' (want baseline, cdf or pre)");
+}
+
+namespace
+{
+
+SpecWindow
+parseWindow(const Json &obj, const std::string &where)
+{
+    needObject(obj, where);
+    rejectUnknownMembers(
+        obj, where, {"warmup_instrs", "measure_instrs", "max_cycles"});
+    SpecWindow w;
+    if (const Json *v = obj.find("warmup_instrs"))
+        w.warmupInstrs = needUint(*v, where + ".warmup_instrs");
+    if (const Json *v = obj.find("measure_instrs"))
+        w.measureInstrs = needUint(*v, where + ".measure_instrs");
+    if (const Json *v = obj.find("max_cycles"))
+        w.maxCycles = needUint(*v, where + ".max_cycles");
+    return w;
+}
+
+std::vector<SpecOverride>
+parseOverrides(const Json &obj, const std::string &where)
+{
+    needObject(obj, where);
+    std::vector<SpecOverride> out;
+    out.reserve(obj.members().size());
+    for (const auto &kv : obj.members())
+        out.push_back({kv.first, kv.second});
+    return out;
+}
+
+SpecVariant
+parseVariant(const Json &obj, const std::string &where)
+{
+    needObject(obj, where);
+    rejectUnknownMembers(obj, where,
+                         {"name", "mode", "config", "spec"});
+    SpecVariant v;
+    const Json *name = obj.find("name");
+    if (!name)
+        specError(where, "variant needs a \"name\"");
+    v.name = needString(*name, where + ".name");
+    if (v.name.empty())
+        specError(where + ".name", "variant name must be non-empty");
+    const Json *mode = obj.find("mode");
+    if (!mode)
+        specError(where, "variant needs a \"mode\"");
+    v.mode = parseCoreMode(needString(*mode, where + ".mode"),
+                           where + ".mode");
+    if (const Json *cfg = obj.find("config"))
+        v.config = parseOverrides(*cfg, where + ".config");
+    if (const Json *spec = obj.find("spec"))
+        v.window = parseWindow(*spec, where + ".spec");
+    return v;
+}
+
+SpecAxis
+parseAxis(const Json &obj, const std::string &where)
+{
+    needObject(obj, where);
+    rejectUnknownMembers(obj, where, {"name", "values"});
+    SpecAxis axis;
+    const Json *name = obj.find("name");
+    if (!name)
+        specError(where, "axis needs a \"name\"");
+    axis.name = needString(*name, where + ".name");
+    const Json *values = obj.find("values");
+    if (!values)
+        specError(where, "axis needs a \"values\" array");
+    needArray(*values, where + ".values");
+    if (values->size() == 0)
+        specError(where + ".values", "axis has no values");
+    for (std::size_t i = 0; i < values->items().size(); ++i) {
+        const std::string vw =
+            where + ".values[" + std::to_string(i) + "]";
+        const Json &vj = values->items()[i];
+        needObject(vj, vw);
+        rejectUnknownMembers(vj, vw, {"tag", "config", "spec"});
+        SpecAxisValue val;
+        const Json *tag = vj.find("tag");
+        if (!tag)
+            specError(vw, "axis value needs a \"tag\"");
+        val.tag = needString(*tag, vw + ".tag");
+        if (const Json *cfg = vj.find("config"))
+            val.config = parseOverrides(*cfg, vw + ".config");
+        if (const Json *spec = vj.find("spec"))
+            val.window = parseWindow(*spec, vw + ".spec");
+        axis.values.push_back(std::move(val));
+    }
+    return axis;
+}
+
+} // namespace
+
+SpecGroup &
+SweepSpec::group(std::vector<std::string> workloads)
+{
+    const auto &all = workloads::allWorkloadNames();
+    std::vector<std::string> resolved;
+    auto appendUnique = [&resolved](const std::string &name) {
+        if (std::find(resolved.begin(), resolved.end(), name) ==
+            resolved.end())
+            resolved.push_back(name);
+    };
+    const std::string where =
+        "groups[" + std::to_string(groups_.size()) + "].workloads";
+    for (const auto &entry : workloads) {
+        if (entry == "*") {
+            for (const auto &name : all)
+                appendUnique(name);
+            continue;
+        }
+        if (!entry.empty() && entry[0] == '@') {
+            const std::string setName = entry.substr(1);
+            bool found = false;
+            for (const auto &[sn, members] : workloadSets_) {
+                if (sn != setName)
+                    continue;
+                for (const auto &name : members)
+                    appendUnique(name);
+                found = true;
+                break;
+            }
+            if (!found)
+                specError(where,
+                          "unknown workload set '" + setName + "'");
+            continue;
+        }
+        if (std::find(all.begin(), all.end(), entry) == all.end())
+            specError(where, "unknown workload '" + entry + "'");
+        appendUnique(entry);
+    }
+    if (resolved.empty())
+        specError(where, "group names no workloads");
+    groups_.push_back({std::move(resolved), {}, false, {}, {}});
+    return groups_.back();
+}
+
+SweepSpec
+SweepSpec::fromJson(const Json &doc, const std::string &where)
+{
+    needObject(doc, where);
+    rejectUnknownMembers(doc, where,
+                         {"sweep", "schema_version", "defaults",
+                          "workload_sets", "groups"});
+    const Json *name = doc.find("sweep");
+    if (!name)
+        specError(where, "spec needs a \"sweep\" name");
+    const Json *version = doc.find("schema_version");
+    if (!version)
+        specError(where, "spec needs a \"schema_version\"");
+    if (needUint(*version, where + ".schema_version") != 1)
+        specError(where + ".schema_version",
+                  "unsupported schema version (want 1)");
+
+    SweepSpec spec(needString(*name, where + ".sweep"));
+
+    if (const Json *defaults = doc.find("defaults"))
+        parseWindow(*defaults, where + ".defaults")
+            .applyTo(spec.defaults_);
+
+    if (const Json *sets = doc.find("workload_sets")) {
+        needObject(*sets, where + ".workload_sets");
+        for (const auto &[setName, list] : sets->members()) {
+            const std::string sw =
+                where + ".workload_sets." + setName;
+            needArray(list, sw);
+            std::vector<std::string> names;
+            for (std::size_t i = 0; i < list.items().size(); ++i)
+                names.push_back(needString(
+                    list.items()[i],
+                    sw + "[" + std::to_string(i) + "]"));
+            spec.defineWorkloadSet(setName, std::move(names));
+        }
+    }
+
+    const Json *groups = doc.find("groups");
+    if (!groups)
+        specError(where, "spec needs a \"groups\" array");
+    needArray(*groups, where + ".groups");
+    if (groups->size() == 0)
+        specError(where + ".groups", "spec has no groups");
+
+    for (std::size_t gi = 0; gi < groups->items().size(); ++gi) {
+        const std::string gw =
+            where + ".groups[" + std::to_string(gi) + "]";
+        const Json &gj = groups->items()[gi];
+        needObject(gj, gw);
+        rejectUnknownMembers(
+            gj, gw, {"workloads", "axes", "zip", "spec", "variants"});
+
+        const Json *wl = gj.find("workloads");
+        if (!wl)
+            specError(gw, "group needs a \"workloads\" array");
+        needArray(*wl, gw + ".workloads");
+        std::vector<std::string> names;
+        for (std::size_t i = 0; i < wl->items().size(); ++i)
+            names.push_back(
+                needString(wl->items()[i],
+                           gw + ".workloads[" + std::to_string(i) +
+                               "]"));
+        // group() validates names/sets and reports as groups[gi]; it
+        // throws with a path relative to the spec root, so prefix the
+        // file for parity with the other messages here.
+        SpecGroup *g = nullptr;
+        try {
+            g = &spec.group(std::move(names));
+        } catch (const std::runtime_error &e) {
+            throw std::runtime_error(where + ": " +
+                                     std::string(e.what()));
+        }
+
+        if (const Json *zip = gj.find("zip"))
+            g->zip = needBool(*zip, gw + ".zip");
+        if (const Json *sw = gj.find("spec"))
+            g->window = parseWindow(*sw, gw + ".spec");
+        if (const Json *axes = gj.find("axes")) {
+            needArray(*axes, gw + ".axes");
+            for (std::size_t ai = 0; ai < axes->items().size(); ++ai)
+                g->axes.push_back(parseAxis(
+                    axes->items()[ai],
+                    gw + ".axes[" + std::to_string(ai) + "]"));
+        }
+
+        const Json *variants = gj.find("variants");
+        if (!variants)
+            specError(gw, "group needs a \"variants\" array");
+        needArray(*variants, gw + ".variants");
+        if (variants->size() == 0)
+            specError(gw + ".variants", "group has no variants");
+        for (std::size_t vi = 0; vi < variants->items().size(); ++vi)
+            g->variants.push_back(parseVariant(
+                variants->items()[vi],
+                gw + ".variants[" + std::to_string(vi) + "]"));
+
+        if (g->zip && !g->axes.empty()) {
+            const std::size_t n = g->axes.front().values.size();
+            for (const SpecAxis &axis : g->axes) {
+                if (axis.values.size() != n)
+                    specError(gw + ".axes",
+                              "zipped axes have unequal lengths");
+            }
+        }
+    }
+    return spec;
+}
+
+SweepSpec
+SweepSpec::fromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error(path + ": cannot read spec file");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    Json doc = Json::parse(buf.str(), &error);
+    if (doc.isNull())
+        throw std::runtime_error(path + ": " + error);
+    return fromJson(doc, path);
+}
+
+std::vector<std::string>
+SweepSpec::workloadUnion() const
+{
+    std::vector<std::string> out;
+    for (const SpecGroup &g : groups_) {
+        for (const auto &name : g.workloads) {
+            if (std::find(out.begin(), out.end(), name) == out.end())
+                out.push_back(name);
+        }
+    }
+    return out;
+}
+
+std::vector<SweepCell>
+SweepSpec::expand(const ooo::CoreConfig &base,
+                  const std::vector<std::string> &filter) const
+{
+    std::vector<SweepCell> cells;
+    std::set<std::string> seen;
+
+    for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+        const SpecGroup &g = groups_[gi];
+        const std::string gw =
+            name_ + ": groups[" + std::to_string(gi) + "]";
+
+        // --workloads semantics: restrict to the filter, in FILTER
+        // order (the legacy benches iterate h.workloads(), which
+        // preserves the user's order). Groups whose workloads are
+        // all filtered out contribute nothing.
+        std::vector<std::string> effective;
+        if (filter.empty()) {
+            effective = g.workloads;
+        } else {
+            for (const auto &want : filter) {
+                if (std::find(g.workloads.begin(), g.workloads.end(),
+                              want) != g.workloads.end())
+                    effective.push_back(want);
+            }
+        }
+
+        // Axis-value combinations, first axis outermost. The
+        // odometer counts the LAST axis fastest; zip mode advances
+        // every axis together.
+        std::size_t combos = 1;
+        if (g.zip && !g.axes.empty()) {
+            combos = g.axes.front().values.size();
+        } else {
+            for (const SpecAxis &axis : g.axes)
+                combos *= axis.values.size();
+        }
+
+        for (std::size_t c = 0; c < combos; ++c) {
+            // Per-axis value index for combination c.
+            std::vector<std::size_t> pick(g.axes.size(), 0);
+            if (g.zip) {
+                for (std::size_t a = 0; a < g.axes.size(); ++a)
+                    pick[a] = c;
+            } else {
+                std::size_t rem = c;
+                for (std::size_t a = g.axes.size(); a-- > 0;) {
+                    pick[a] = rem % g.axes[a].values.size();
+                    rem /= g.axes[a].values.size();
+                }
+            }
+
+            for (const auto &workload : effective) {
+                for (std::size_t vi = 0; vi < g.variants.size();
+                     ++vi) {
+                    const SpecVariant &v = g.variants[vi];
+                    const std::string vw =
+                        gw + ".variants[" + std::to_string(vi) + "]";
+
+                    SweepCell cell;
+                    cell.workload = workload;
+                    cell.mode = v.mode;
+                    cell.config = base;
+                    cell.spec = defaults_;
+                    g.window.applyTo(cell.spec);
+
+                    std::string variantName = v.name;
+                    for (std::size_t a = 0; a < g.axes.size(); ++a) {
+                        const SpecAxisValue &val =
+                            g.axes[a].values[pick[a]];
+                        for (const SpecOverride &o : val.config)
+                            applyConfigOverride(
+                                cell.config, o.key, o.value,
+                                gw + ".axes[" + std::to_string(a) +
+                                    "].config." + o.key);
+                        val.window.applyTo(cell.spec);
+                        if (!val.tag.empty())
+                            variantName += "@" + val.tag;
+                    }
+                    for (const SpecOverride &o : v.config)
+                        applyConfigOverride(cell.config, o.key,
+                                            o.value,
+                                            vw + ".config." + o.key);
+                    v.window.applyTo(cell.spec);
+
+                    cell.variant = std::move(variantName);
+                    cell.config.mode = cell.mode;
+
+                    const std::string id =
+                        cell.workload + "/" + cell.variant;
+                    if (!seen.insert(id).second)
+                        specError(vw, "duplicate cell " + id);
+                    cells.push_back(std::move(cell));
+                }
+            }
+        }
+    }
+    return cells;
+}
+
+} // namespace cdfsim::sim

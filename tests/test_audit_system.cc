@@ -2,7 +2,8 @@
  * @file
  * Corruption tests for the system-level audit walks: the core's RS
  * wakeup cache (Core::auditRsWakeupCache), its rename maps
- * (Core::auditRenameMaps), the memory hierarchy's LLC probe memo
+ * (Core::auditRenameMaps), its LSQ/ROB age ordering
+ * (Core::auditLsqRobAge), the memory hierarchy's LLC probe memo
  * (MemHierarchy::auditProbeCache), and the CDF side tables
  * (CriticalCountTable::auditInvariants, MaskCache::auditInvariants).
  *
@@ -271,6 +272,84 @@ struct AuditPeer
         return false;
     }
 
+    // --- Core: LSQ/ROB age ordering ---------------------------------
+
+    /** Swap two adjacent entries of a ROB section, breaking the
+     *  strictly-increasing timestamp order. */
+    static bool
+    swapAdjacentRobEntries(ooo::Core &c)
+    {
+        for (auto *q : {&c.rob_.crit_, &c.rob_.nonCrit_}) {
+            if (q->size() >= 2) {
+                std::swap((*q)[0], (*q)[1]);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Swap two adjacent entries of an LQ section. */
+    static bool
+    swapAdjacentLqEntries(ooo::Core &c)
+    {
+        auto &lq = c.lsq_.lq();
+        for (auto *q : {&lq.crit_, &lq.nonCrit_}) {
+            if (q->size() >= 2) {
+                std::swap((*q)[0], (*q)[1]);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Duplicate a resident load into the store queue — the kind
+     *  confusion a dispatch bug would produce. */
+    static bool
+    loadIntoStoreQueue(ooo::Core &c)
+    {
+        auto &lq = c.lsq_.lq();
+        for (auto *q : {&lq.crit_, &lq.nonCrit_}) {
+            if (!q->empty()) {
+                c.lsq_.sq().nonCrit_.push_back(q->front());
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Grant the ROB's critical section more capacity than the ROB
+     *  has. */
+    static void
+    robCapOverSize(ooo::Core &c)
+    {
+        c.rob_.critCap_ = c.rob_.size_ + 1;
+    }
+
+    /** Erase the ROB entry backing an LQ head, leaving an LSQ entry
+     *  with no ROB residence (a missed-squash shape). */
+    static bool
+    vanishRobEntryForLqHead(ooo::Core &c)
+    {
+        auto &lq = c.lsq_.lq();
+        const ooo::DynInst *victim = nullptr;
+        for (auto *q : {&lq.crit_, &lq.nonCrit_}) {
+            if (!q->empty()) {
+                victim = q->front();
+                break;
+            }
+        }
+        if (!victim)
+            return false;
+        for (auto *q : {&c.rob_.crit_, &c.rob_.nonCrit_}) {
+            auto it = std::find(q->begin(), q->end(), victim);
+            if (it != q->end()) {
+                q->erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+
     // --- Core: rename maps ------------------------------------------
 
     /** Point an arch reg at a physical register that does not exist. */
@@ -443,6 +522,68 @@ TEST_F(AuditSystem, RenameMapsFireOnFreeListOverlap)
     EXPECT_THROW(core().auditRenameMaps(), PanicError);
 }
 
+// ------------------------------------------------- LSQ/ROB ordering
+
+TEST_F(AuditSystem, LsqRobSilentOnDrivenCore)
+{
+    EXPECT_NO_THROW(core().auditLsqRobAge());
+}
+
+TEST_F(AuditSystem, LsqRobFiresOnRobAgeSwap)
+{
+    // The fixture pauses with a non-empty RS, so the ROB holds the
+    // same in-flight instructions — two adjacent ones to swap.
+    ASSERT_TRUE(AuditPeer::swapAdjacentRobEntries(core()));
+    EXPECT_THROW(core().auditLsqRobAge(), PanicError);
+}
+
+TEST_F(AuditSystem, LsqRobFiresOnLqAgeSwap)
+{
+    // mcf keeps multiple loads in flight, but the pause point is
+    // workload state; step until two LQ entries coexist.
+    auto &c = core();
+    bool corrupted = AuditPeer::swapAdjacentLqEntries(c);
+    for (int i = 0; i < 64 && !corrupted && !c.halted(); ++i) {
+        c.run(c.retired() + 2'000);
+        corrupted = AuditPeer::swapAdjacentLqEntries(c);
+    }
+    if (!corrupted)
+        GTEST_SKIP() << "never saw two resident LQ entries";
+    EXPECT_THROW(c.auditLsqRobAge(), PanicError);
+}
+
+TEST_F(AuditSystem, LsqRobFiresOnLoadInStoreQueue)
+{
+    auto &c = core();
+    bool corrupted = AuditPeer::loadIntoStoreQueue(c);
+    for (int i = 0; i < 64 && !corrupted && !c.halted(); ++i) {
+        c.run(c.retired() + 2'000);
+        corrupted = AuditPeer::loadIntoStoreQueue(c);
+    }
+    if (!corrupted)
+        GTEST_SKIP() << "never saw a resident LQ entry";
+    EXPECT_THROW(c.auditLsqRobAge(), PanicError);
+}
+
+TEST_F(AuditSystem, LsqRobFiresOnCapOverSize)
+{
+    AuditPeer::robCapOverSize(core());
+    EXPECT_THROW(core().auditLsqRobAge(), PanicError);
+}
+
+TEST_F(AuditSystem, LsqRobFiresOnVanishedRobEntry)
+{
+    auto &c = core();
+    bool corrupted = AuditPeer::vanishRobEntryForLqHead(c);
+    for (int i = 0; i < 64 && !corrupted && !c.halted(); ++i) {
+        c.run(c.retired() + 2'000);
+        corrupted = AuditPeer::vanishRobEntryForLqHead(c);
+    }
+    if (!corrupted)
+        GTEST_SKIP() << "never saw a resident LQ entry";
+    EXPECT_THROW(c.auditLsqRobAge(), PanicError);
+}
+
 // ------------------------------------------------- CDF side tables
 
 /**
@@ -495,6 +636,7 @@ TEST_F(AuditSystemCdf, SideTablesSilentOnDrivenCore)
     EXPECT_NO_THROW(AuditPeer::loadCct(c)->auditInvariants());
     EXPECT_NO_THROW(AuditPeer::maskCache(c)->auditInvariants());
     EXPECT_NO_THROW(c.auditRenameMaps());
+    EXPECT_NO_THROW(c.auditLsqRobAge());
 }
 
 TEST_F(AuditSystemCdf, CctFiresOnDuplicateTag)

@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Unit tests for sim::SweepSpec: deterministic expansion order
+ * (groups -> axis combinations -> workloads -> variants), product vs
+ * zipped axes, --workloads filter semantics, builder/JSON
+ * equivalence, the config-override registry, and the validation
+ * errors that must name the offending spec path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "ooo/core_config.hh"
+#include "sim/sweep_spec.hh"
+#include "workloads/workloads.hh"
+
+using cdfsim::Json;
+using cdfsim::ooo::CoreConfig;
+using cdfsim::ooo::CoreMode;
+using cdfsim::sim::SweepCell;
+using cdfsim::sim::SweepSpec;
+
+namespace
+{
+
+std::vector<std::string>
+cellIds(const std::vector<SweepCell> &cells)
+{
+    std::vector<std::string> ids;
+    for (const SweepCell &c : cells)
+        ids.push_back(c.workload + "/" + c.variant);
+    return ids;
+}
+
+Json
+parseOrDie(const std::string &text)
+{
+    std::string error;
+    Json doc = Json::parse(text, &error);
+    EXPECT_TRUE(!doc.isNull()) << error;
+    return doc;
+}
+
+/** EXPECT that @p fn throws std::runtime_error whose message
+ *  contains @p needle (the spec path naming the offense). */
+template <typename Fn>
+void
+expectSpecError(Fn &&fn, const std::string &needle)
+{
+    try {
+        fn();
+        FAIL() << "expected a spec error mentioning '" << needle
+               << "'";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find(needle),
+                  std::string::npos)
+            << "error message '" << e.what()
+            << "' does not mention '" << needle << "'";
+    }
+}
+
+TEST(SweepSpec, ExpansionOrderIsWorkloadOuterVariantInner)
+{
+    SweepSpec spec("t");
+    auto &g = spec.group({"astar", "mcf"});
+    g.variant("base", CoreMode::Baseline);
+    g.variant("cdf", CoreMode::Cdf);
+
+    const auto cells = spec.expand(CoreConfig{});
+    EXPECT_EQ(cellIds(cells),
+              (std::vector<std::string>{"astar/base", "astar/cdf",
+                                        "mcf/base", "mcf/cdf"}));
+    EXPECT_EQ(cells[1].mode, CoreMode::Cdf);
+    EXPECT_EQ(cells[1].config.mode, CoreMode::Cdf);
+}
+
+TEST(SweepSpec, GroupsExpandInDeclarationOrder)
+{
+    SweepSpec spec("t");
+    spec.group({"mcf"}).variant("cdf", CoreMode::Cdf);
+    spec.group({"astar"}).variant("base", CoreMode::Baseline);
+
+    EXPECT_EQ(cellIds(spec.expand(CoreConfig{})),
+              (std::vector<std::string>{"mcf/cdf", "astar/base"}));
+}
+
+TEST(SweepSpec, ProductAxesFirstAxisOutermost)
+{
+    SweepSpec spec("t");
+    auto &g = spec.group({"astar"});
+    auto &outer = g.axis("outer");
+    outer.value("o1");
+    outer.value("o2");
+    auto &inner = g.axis("inner");
+    inner.value("i1");
+    inner.value("i2");
+    g.variant("v", CoreMode::Baseline);
+
+    EXPECT_EQ(cellIds(spec.expand(CoreConfig{})),
+              (std::vector<std::string>{
+                  "astar/v@o1@i1", "astar/v@o1@i2", "astar/v@o2@i1",
+                  "astar/v@o2@i2"}));
+}
+
+TEST(SweepSpec, ZippedAxesAdvanceInLockstep)
+{
+    SweepSpec spec("t");
+    auto &g = spec.group({"astar"});
+    g.zip = true;
+    auto &a = g.axis("a");
+    a.value("a1");
+    a.value("a2");
+    auto &b = g.axis("b");
+    b.value("b1");
+    b.value("b2");
+    g.variant("v", CoreMode::Baseline);
+
+    EXPECT_EQ(cellIds(spec.expand(CoreConfig{})),
+              (std::vector<std::string>{"astar/v@a1@b1",
+                                        "astar/v@a2@b2"}));
+}
+
+TEST(SweepSpec, EmptyAxisTagAddsNoSuffix)
+{
+    SweepSpec spec("t");
+    auto &g = spec.group({"astar"});
+    g.axis("a").value("");
+    g.variant("v", CoreMode::Baseline);
+
+    EXPECT_EQ(cellIds(spec.expand(CoreConfig{})),
+              (std::vector<std::string>{"astar/v"}));
+}
+
+TEST(SweepSpec, FilterRestrictsToFilterOrder)
+{
+    SweepSpec spec("t");
+    auto &g = spec.group({"astar", "mcf", "lbm"});
+    g.variant("base", CoreMode::Baseline);
+
+    // Filter order wins over group order, and unmatched entries in
+    // the group vanish.
+    const auto cells =
+        spec.expand(CoreConfig{}, {"lbm", "astar"});
+    EXPECT_EQ(cellIds(cells), (std::vector<std::string>{
+                                  "lbm/base", "astar/base"}));
+}
+
+TEST(SweepSpec, FilterCanEmptyOutAGroup)
+{
+    SweepSpec spec("t");
+    spec.group({"astar"}).variant("base", CoreMode::Baseline);
+    spec.group({"mcf"}).variant("cdf", CoreMode::Cdf);
+
+    EXPECT_EQ(cellIds(spec.expand(CoreConfig{}, {"mcf"})),
+              (std::vector<std::string>{"mcf/cdf"}));
+}
+
+TEST(SweepSpec, WindowLayersDefaultsGroupAxisVariant)
+{
+    SweepSpec spec("t");
+    spec.defaults().warmupInstrs = 1'000;
+    spec.defaults().measureInstrs = 2'000;
+    spec.defaults().maxCycles = 3'000;
+
+    auto &g = spec.group({"astar"});
+    g.window.measureInstrs = 20;
+    auto &v = g.variant("v", CoreMode::Baseline);
+    v.window.maxCycles = 30;
+    g.variant("w", CoreMode::Baseline);
+
+    const auto cells = spec.expand(CoreConfig{});
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_EQ(cells[0].spec.warmupInstrs, 1'000u); // from defaults
+    EXPECT_EQ(cells[0].spec.measureInstrs, 20u);   // group override
+    EXPECT_EQ(cells[0].spec.maxCycles, 30u);       // variant override
+    EXPECT_EQ(cells[1].spec.maxCycles, 3'000u);    // untouched
+}
+
+TEST(SweepSpec, ConfigOverridesApplyAxisThenVariant)
+{
+    SweepSpec spec("t");
+    auto &g = spec.group({"astar"});
+    g.axis("size").value("big").set("rob_size", 512);
+    g.variant("v", CoreMode::Cdf)
+        .set("rob_size", 64)
+        .set("cdf.partition.dynamic", false);
+
+    const auto cells = spec.expand(CoreConfig{});
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_EQ(cells[0].config.robSize, 64u); // variant wins
+    EXPECT_FALSE(cells[0].config.cdf.partition.dynamic);
+}
+
+TEST(SweepSpec, ScaleWindowOverrideMatchesCoreConfigScaleWindow)
+{
+    CoreConfig direct;
+    direct.scaleWindow(0.5);
+
+    CoreConfig viaSpec;
+    cdfsim::sim::applyConfigOverride(viaSpec, "scale_window",
+                                     Json(0.5), "here");
+    EXPECT_EQ(viaSpec.robSize, direct.robSize);
+    EXPECT_EQ(viaSpec.rsSize, direct.rsSize);
+    EXPECT_EQ(viaSpec.lqSize, direct.lqSize);
+    EXPECT_EQ(viaSpec.sqSize, direct.sqSize);
+    EXPECT_EQ(viaSpec.physRegs, direct.physRegs);
+}
+
+TEST(SweepSpec, WorkloadSetAndStarResolve)
+{
+    SweepSpec spec("t");
+    spec.defineWorkloadSet("pair", {"mcf", "astar"});
+    spec.group({"@pair"}).variant("v", CoreMode::Baseline);
+
+    EXPECT_EQ(cellIds(spec.expand(CoreConfig{})),
+              (std::vector<std::string>{"mcf/v", "astar/v"}));
+
+    SweepSpec all("t2");
+    all.group({"*"}).variant("v", CoreMode::Baseline);
+    EXPECT_EQ(
+        all.workloadUnion(),
+        cdfsim::workloads::allWorkloadNames());
+}
+
+TEST(SweepSpec, JsonAndBuilderExpandIdentically)
+{
+    const Json doc = parseOrDie(R"({
+        "sweep": "t",
+        "schema_version": 1,
+        "defaults": {"warmup_instrs": 10, "measure_instrs": 20,
+                     "max_cycles": 30},
+        "groups": [{
+            "workloads": ["astar", "mcf"],
+            "variants": [
+                {"name": "base", "mode": "baseline"},
+                {"name": "cdf_nobr", "mode": "cdf",
+                 "config": {"cdf.mark_critical_branches": false}}
+            ]
+        }]
+    })");
+    const SweepSpec fromJson = SweepSpec::fromJson(doc, "spec");
+
+    SweepSpec built("t");
+    built.defaults().warmupInstrs = 10;
+    built.defaults().measureInstrs = 20;
+    built.defaults().maxCycles = 30;
+    auto &g = built.group({"astar", "mcf"});
+    g.variant("base", CoreMode::Baseline);
+    g.variant("cdf_nobr", CoreMode::Cdf)
+        .set("cdf.mark_critical_branches", false);
+
+    const auto a = fromJson.expand(CoreConfig{});
+    const auto b = built.expand(CoreConfig{});
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].workload, b[i].workload);
+        EXPECT_EQ(a[i].variant, b[i].variant);
+        EXPECT_EQ(a[i].mode, b[i].mode);
+        EXPECT_EQ(a[i].spec.warmupInstrs, b[i].spec.warmupInstrs);
+        EXPECT_EQ(a[i].spec.measureInstrs, b[i].spec.measureInstrs);
+        EXPECT_EQ(a[i].spec.maxCycles, b[i].spec.maxCycles);
+        EXPECT_EQ(a[i].config.cdf.markCriticalBranches,
+                  b[i].config.cdf.markCriticalBranches);
+    }
+}
+
+// ------------------------------------------------- validation errors
+
+TEST(SweepSpec, ErrorsNameTheOffendingPath)
+{
+    // Missing variant mode.
+    expectSpecError(
+        [] {
+            SweepSpec::fromJson(
+                parseOrDie(R"({"sweep": "t", "schema_version": 1,
+                    "groups": [{"workloads": ["astar"],
+                        "variants": [{"name": "v"}]}]})"),
+                "spec");
+        },
+        "spec.groups[0].variants[0]");
+
+    // Bad mode string.
+    expectSpecError(
+        [] {
+            SweepSpec::fromJson(
+                parseOrDie(R"({"sweep": "t", "schema_version": 1,
+                    "groups": [{"workloads": ["astar"],
+                        "variants": [{"name": "v",
+                                      "mode": "turbo"}]}]})"),
+                "spec");
+        },
+        "spec.groups[0].variants[0].mode");
+
+    // Typo'd member must not silently no-op.
+    expectSpecError(
+        [] {
+            SweepSpec::fromJson(
+                parseOrDie(R"({"sweep": "t", "schema_version": 1,
+                    "groups": [{"workloads": ["astar"],
+                        "varients": [],
+                        "variants": [{"name": "v",
+                                      "mode": "cdf"}]}]})"),
+                "spec");
+        },
+        "spec.groups[0].varients");
+
+    // Unsupported schema version.
+    expectSpecError(
+        [] {
+            SweepSpec::fromJson(
+                parseOrDie(R"({"sweep": "t", "schema_version": 2,
+                    "groups": []})"),
+                "spec");
+        },
+        "spec.schema_version");
+
+    // Zipped axes of unequal length.
+    expectSpecError(
+        [] {
+            SweepSpec::fromJson(
+                parseOrDie(R"({"sweep": "t", "schema_version": 1,
+                    "groups": [{"workloads": ["astar"], "zip": true,
+                        "axes": [
+                            {"name": "a", "values": [{"tag": "1"},
+                                                     {"tag": "2"}]},
+                            {"name": "b", "values": [{"tag": "1"}]}],
+                        "variants": [{"name": "v",
+                                      "mode": "cdf"}]}]})"),
+                "spec");
+        },
+        "spec.groups[0].axes");
+}
+
+TEST(SweepSpec, UnknownWorkloadAndSetAreRejected)
+{
+    SweepSpec spec("t");
+    expectSpecError([&] { spec.group({"no_such_workload"}); },
+                    "groups[0].workloads");
+    expectSpecError([&] { spec.group({"@no_such_set"}); },
+                    "groups[0].workloads");
+}
+
+TEST(SweepSpec, UnknownOverrideKeyIsRejectedAtExpand)
+{
+    SweepSpec spec("t");
+    spec.group({"astar"})
+        .variant("v", CoreMode::Cdf)
+        .set("cdf.no_such_knob", true);
+    expectSpecError([&] { spec.expand(CoreConfig{}); },
+                    "groups[0].variants[0].config.cdf.no_such_knob");
+}
+
+TEST(SweepSpec, OverrideTypeMismatchIsRejected)
+{
+    SweepSpec spec("t");
+    spec.group({"astar"})
+        .variant("v", CoreMode::Cdf)
+        .set("cdf.partition.dynamic", 3); // boolean knob
+    expectSpecError([&] { spec.expand(CoreConfig{}); },
+                    "expected a boolean");
+}
+
+TEST(SweepSpec, DuplicateCellsAreRejected)
+{
+    SweepSpec spec("t");
+    auto &g = spec.group({"astar"});
+    g.variant("v", CoreMode::Baseline);
+    g.variant("v", CoreMode::Cdf);
+    expectSpecError([&] { spec.expand(CoreConfig{}); },
+                    "duplicate cell astar/v");
+}
+
+TEST(SweepSpec, FromFileRejectsMissingFile)
+{
+    expectSpecError(
+        [] { SweepSpec::fromFile("/no/such/spec.json"); },
+        "/no/such/spec.json");
+}
+
+} // namespace

@@ -23,6 +23,7 @@
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -101,6 +102,39 @@ indexRuns(const Json &doc, const std::string &path)
     return out;
 }
 
+/**
+ * A null under "derived" is a serialized NaN: an aggregate that the
+ * bench computed over an empty row set.  Such an artifact cannot be
+ * meaningfully gated on, so treat it as malformed rather than letting
+ * the comparison silently skip the aggregate.
+ */
+void
+rejectNullDerived(const Json &node, const std::string &path,
+                  const std::string &keyPath)
+{
+    if (node.isNull())
+        throw std::runtime_error(
+            path + ": " + keyPath +
+            " is null (aggregate computed over zero rows)");
+    if (node.type() == Json::Type::Object) {
+        for (const auto &[key, value] : node.members())
+            rejectNullDerived(value, path, keyPath + "." + key);
+    } else if (node.type() == Json::Type::Array) {
+        std::size_t i = 0;
+        for (const Json &item : node.items())
+            rejectNullDerived(item, path,
+                              keyPath + "[" + std::to_string(i++) +
+                                  "]");
+    }
+}
+
+void
+validateDerived(const Json &doc, const std::string &path)
+{
+    if (const Json *derived = doc.find("derived"))
+        rejectNullDerived(*derived, path, "derived");
+}
+
 const Json *
 metricNode(const Json &run, const Metric &m)
 {
@@ -144,6 +178,8 @@ run(int argc, char **argv)
 
     const Json base = load(paths[0]);
     const Json cand = load(paths[1]);
+    validateDerived(base, paths[0]);
+    validateDerived(cand, paths[1]);
     const auto baseRuns = indexRuns(base, paths[0]);
     const auto candRuns = indexRuns(cand, paths[1]);
 

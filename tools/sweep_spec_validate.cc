@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Schema and expansion checker for checked-in sweep specs.
+ *
+ * Walks a directory of *.json sweep specs (default: the argument to
+ * --dir), parses each through sim::SweepSpec::fromFile, and dry-runs
+ * the full cell expansion against a default CoreConfig.  Any parse or
+ * expansion error is reported with the offending spec path and makes
+ * the exit code nonzero, so a CI step can gate on "every spec in the
+ * tree still loads and expands":
+ *
+ *   sweep_spec_validate --dir bench/specs
+ *
+ * Scanning happens at runtime, so a newly added spec is covered
+ * without touching the build system.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ooo/core_config.hh"
+#include "sim/sweep_spec.hh"
+
+namespace fs = std::filesystem;
+
+using namespace cdfsim;
+
+int
+main(int argc, char **argv)
+{
+    std::string dir;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--dir") == 0 && i + 1 < argc) {
+            dir = argv[++i];
+        } else if (std::strncmp(arg, "--dir=", 6) == 0) {
+            dir = arg + 6;
+        } else {
+            std::fprintf(stderr,
+                         "usage: sweep_spec_validate --dir DIR\n");
+            return 2;
+        }
+    }
+    if (dir.empty()) {
+        std::fprintf(stderr, "usage: sweep_spec_validate --dir DIR\n");
+        return 2;
+    }
+
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) {
+        std::fprintf(stderr,
+                     "sweep_spec_validate: %s is not a directory\n",
+                     dir.c_str());
+        return 2;
+    }
+
+    std::vector<std::string> paths;
+    for (const fs::directory_entry &entry : fs::directory_iterator(dir)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".json")
+            paths.push_back(entry.path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+    if (paths.empty()) {
+        std::fprintf(stderr,
+                     "sweep_spec_validate: no *.json specs under %s\n",
+                     dir.c_str());
+        return 2;
+    }
+
+    unsigned bad = 0;
+    for (const std::string &path : paths) {
+        try {
+            const sim::SweepSpec spec = sim::SweepSpec::fromFile(path);
+            const auto cells = spec.expand(ooo::CoreConfig{});
+            if (cells.empty())
+                throw std::runtime_error(path +
+                                         ": expands to zero cells");
+            std::printf("ok      %-44s %s: %zu cell(s)\n",
+                        path.c_str(), spec.name().c_str(),
+                        cells.size());
+        } catch (const std::exception &e) {
+            std::printf("INVALID %-44s %s\n", path.c_str(), e.what());
+            ++bad;
+        }
+    }
+    std::printf("%zu spec(s) checked, %u invalid\n", paths.size(), bad);
+    return bad > 0 ? 1 : 0;
+}
